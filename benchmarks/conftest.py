@@ -1,0 +1,22 @@
+"""Shared fixtures for the table/figure reproduction benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import lowpass_taps_q15
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2022)
+
+
+@pytest.fixture(scope="session")
+def taps11():
+    return lowpass_taps_q15(11, 0.1)
+
+
+def q15_noise(rng, n, scale=0.4):
+    return (rng.uniform(-scale, scale, n) * 32768).astype(int).tolist()

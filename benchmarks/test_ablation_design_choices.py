@@ -1,0 +1,132 @@
+"""Ablations of VWR2A's design choices (Sec. 2/3 rationale).
+
+Three claims the paper argues qualitatively, quantified on our model:
+
+1. **VWR width** (Sec. 3.2: wide VWRs amortize memory traffic): the same
+   FIR on a half-width (2048-bit) variant pays more SPM traffic and
+   control per output.
+2. **Bus sensitivity** (Sec. 2: "the performance of algorithms with many
+   data accesses is dependent on the system bus latency and bandwidth"):
+   a slower AHB visibly inflates total kernel time through the DMA.
+3. **Shuffle unit** (Sec. 3.3.1: reordering "is possible through the RCs
+   connection matrix, but it is highly inefficient"): de-interleaving a
+   vector with the shuffle unit vs. a datapath-only two-pass copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchParams, SocParams
+from repro.baselines import lowpass_taps_q15
+from repro.isa import KernelConfig, Vwr
+from repro.isa.fields import DST_VWR_C, VWR_A, ShuffleMode
+from repro.isa.lsu import ld_vwr, shuf, st_vwr
+from repro.isa.mxcu import inck, setk
+from repro.isa.rc import RCOp, rc
+from repro.kernels.fir import run_fir
+from repro.kernels.macro import ColumnKernelBuilder
+from repro.kernels.runner import KernelRunner
+from repro.soc.platform import BiosignalSoC
+
+
+def _fir_cycles(params: ArchParams, soc_params: SocParams = None) -> int:
+    soc = BiosignalSoC(params, soc_params or SocParams())
+    runner = KernelRunner(soc)
+    taps = lowpass_taps_q15(11, 0.1)
+    x = [(37 * i) % 2000 - 1000 for i in range(256)]
+    return run_fir(runner, taps, x).run.total_cycles
+
+
+def test_ablation_vwr_width(benchmark):
+    """Halving the VWR width costs throughput on the same FIR."""
+    wide = ArchParams()                      # 4096-bit VWRs
+    narrow = ArchParams(vwr_words=64)        # 2048-bit VWRs
+    wide_cycles = _fir_cycles(wide)
+    narrow_cycles = benchmark.pedantic(
+        _fir_cycles, args=(narrow,), rounds=1, iterations=1
+    )
+    row = (
+        f"Ablation VWR width, FIR-256: 4096-bit {wide_cycles} cyc vs "
+        f"2048-bit {narrow_cycles} cyc "
+        f"({narrow_cycles / wide_cycles:.2f}x slower)"
+    )
+    print(row)
+    benchmark.extra_info["row"] = row
+    # Narrower VWRs mean smaller slices (more halo waste) and more
+    # per-line control: measurably worse.
+    assert narrow_cycles > wide_cycles * 1.1
+
+
+def test_ablation_bus_latency(benchmark):
+    """A slower system bus inflates DMA-bound kernel time (Sec. 2)."""
+    fast = SocParams()
+    slow = SocParams(bus_setup_cycles=16, bus_burst_len=4)
+    fast_cycles = _fir_cycles(ArchParams(), fast)
+    slow_cycles = benchmark.pedantic(
+        _fir_cycles, args=(ArchParams(), slow), rounds=1, iterations=1
+    )
+    row = (
+        f"Ablation bus, FIR-256: fast AHB {fast_cycles} cyc vs slow AHB "
+        f"{slow_cycles} cyc ({slow_cycles / fast_cycles:.2f}x)"
+    )
+    print(row)
+    benchmark.extra_info["row"] = row
+    assert slow_cycles > fast_cycles * 1.2
+
+
+def _deinterleave_with_shuffle() -> int:
+    runner = KernelRunner()
+    runner.stage_in(list(range(256)), 0)
+    kb = ColumnKernelBuilder(runner.soc.params)
+    kb.srf(0, 0)
+    kb.srf(1, 1)
+    kb.srf(2, 2)
+    kb.emit(lsu=ld_vwr(Vwr.A, 0))
+    kb.emit(lsu=ld_vwr(Vwr.B, 1))
+    kb.emit(lsu=shuf(ShuffleMode.ODD_PRUNE))
+    kb.emit(lsu=st_vwr(Vwr.C, 2))
+    kb.exit()
+    cfg = KernelConfig(name="shuf_deint", columns={0: kb.build()})
+    result = runner.execute(cfg)
+    evens = runner.soc.vwr2a.spm.peek_words(256, 128)
+    assert evens == list(range(0, 256, 2))
+    return result.cycles
+
+
+def _deinterleave_with_datapath() -> int:
+    """Datapath-only extraction: the RCs walk even indices (2 VWR passes
+    since each source VWR's evens land in half the output positions)."""
+    runner = KernelRunner()
+    runner.stage_in(list(range(256)), 0)
+    kb = ColumnKernelBuilder(runner.soc.params)
+    kb.srf(0, 0)
+    kb.srf(1, 1)
+    kb.srf(2, 2)
+    for src_line in (0, 1):
+        kb.emit(lsu=ld_vwr(Vwr.A, src_line))
+        # Read even positions: k steps by 2; two sub-passes cover reads
+        # and the compacting write positions need a second walk.
+        kb.emit(mxcu=setk(30))
+        kb.vector_pass(rc(RCOp.MOV, DST_VWR_C, VWR_A), positions=32)
+        kb.emit(lsu=st_vwr(Vwr.C, 2, inc=1))
+    kb.exit()
+    cfg = KernelConfig(name="dp_deint", columns={0: kb.build()})
+    return runner.execute(cfg).cycles
+
+
+def test_ablation_shuffle_unit(benchmark):
+    shuffle_cycles = benchmark.pedantic(
+        _deinterleave_with_shuffle, rounds=1, iterations=1
+    )
+    datapath_cycles = _deinterleave_with_datapath()
+    row = (
+        f"Ablation shuffle unit, 256-word de-interleave: shuffle "
+        f"{shuffle_cycles} cyc vs datapath-copy {datapath_cycles}+ cyc "
+        f"(>= {datapath_cycles / shuffle_cycles:.0f}x; and the datapath "
+        f"version still needs a second reorder pass)"
+    )
+    print(row)
+    benchmark.extra_info["row"] = row
+    # One shuffle op replaces tens of datapath cycles.
+    assert shuffle_cycles * 5 < datapath_cycles

@@ -1,0 +1,74 @@
+"""Table 2: FFT kernel cycle counts — CPU vs FFT accelerator vs VWR2A.
+
+Regenerates every row of the paper's Table 2: complex- and real-valued
+FFTs of 512/1024/2048 points on the three engines, asserting the paper's
+shape: VWR2A lands in the same class as the fixed-function accelerator
+(within 2.2x across all sizes) while both beat the Cortex-M4 by large
+factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import q15_noise
+from repro.baselines import cfft_cycles, rfft_cycles
+from repro.kernels.fft import FftEngine
+from repro.kernels.fft2048 import SplitFftEngine
+from repro.kernels.rfft import RfftEngine
+from repro.kernels.runner import KernelRunner
+from repro.soc.fft_accel import FftAccelerator
+
+PAPER = {
+    ("complex", 512): (47926, 7099, 7125),
+    ("complex", 1024): (84753, 13629, 12405),
+    ("complex", 2048): (219667, 31299, 30217),
+    ("real", 512): (24927, 3523, 3666),
+    ("real", 1024): (62326, 8007, 7133),
+    ("real", 2048): (113489, 16490, 14427),
+}
+
+
+def _vwr2a_cycles(kind: str, n: int, data) -> int:
+    runner = KernelRunner()
+    if kind == "real":
+        return RfftEngine(runner, n).run(data).run.total_cycles
+    if n == 2048:
+        return SplitFftEngine(runner).run(data, [0] * n).run.total_cycles
+    return FftEngine(runner, n).run(data, [0] * n).run.total_cycles
+
+
+@pytest.mark.parametrize("kind", ["complex", "real"])
+@pytest.mark.parametrize("n", [512, 1024, 2048])
+def test_table2_row(benchmark, rng, kind, n):
+    data = q15_noise(rng, n)
+    cpu = cfft_cycles(n) if kind == "complex" else rfft_cycles(n)
+    accel = (
+        FftAccelerator().complex_fft(data, [0] * n).cycles
+        if kind == "complex"
+        else FftAccelerator().real_fft(data).cycles
+    )
+    vwr2a = benchmark.pedantic(
+        _vwr2a_cycles, args=(kind, n, data), rounds=1, iterations=1
+    )
+    paper_cpu, paper_accel, paper_vwr2a = PAPER[(kind, n)]
+    row = (
+        f"Table2 {kind} {n}: CPU {cpu} (paper {paper_cpu}), "
+        f"ACCEL {accel} (paper {paper_accel}), "
+        f"VWR2A {vwr2a} (paper {paper_vwr2a}), "
+        f"speedup {cpu / vwr2a:.1f}x (paper {paper_cpu / paper_vwr2a:.1f}x)"
+    )
+    print(row)
+    benchmark.extra_info["row"] = row
+    # Shape assertions: engines in the same class, both >> CPU.
+    assert cpu / vwr2a > 3.0, "VWR2A must clearly beat the CPU"
+    assert cpu / accel > 5.0
+    assert vwr2a / accel < 2.5, (
+        "VWR2A should be in the accelerator's performance class"
+    )
+    # Absolute anchoring: our cycle counts within ~2.3x of the paper's
+    # (the overage concentrates in the table-streaming / split-transform
+    # sizes; see EXPERIMENTS.md).
+    assert 0.45 < vwr2a / paper_vwr2a < 2.3
+    assert 0.9 < cpu / paper_cpu < 1.1
+    assert 0.9 < accel / paper_accel < 1.1

@@ -1,0 +1,79 @@
+"""Table 3: per-component power breakdown @ 512-point real-valued FFT.
+
+The calibration anchors each component's power to the paper's number, so
+the totals match by construction; what this bench *checks* is the
+consistency of the whole pipeline — that rerunning the anchor workload
+through the simulator + energy model reproduces every row and the 5.5x
+total ratio.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import q15_noise
+from repro.core.events import EventCounters
+from repro.energy import default_model, render_table3, table3_breakdown
+from repro.energy.anchors import FFT_ACCEL_POWER_MW, VWR2A_POWER_MW
+from repro.kernels.rfft import RfftEngine
+from repro.kernels.runner import KernelRunner
+from repro.soc.fft_accel import FftAccelerator
+
+PAPER_ROWS = {
+    "DMA": (0.0107, 0.0947),
+    "Memories": (0.668, 3.49),
+    "Control": (0.0625, 0.100),
+    "Datapath": (0.242, 1.72),
+    "Total": (0.983, 5.41),
+}
+
+
+def _measure(data):
+    model = default_model()
+    runner = KernelRunner()
+    engine = RfftEngine(runner, 512)
+    engine.prepare()
+    before = runner.events_snapshot()
+    result = engine.run(data)
+    vwr2a = model.vwr2a_report(
+        runner.events_since(before), result.run.total_cycles
+    )
+    events = EventCounters()
+    accel_result = FftAccelerator(events).real_fft(data)
+    accel = model.accel_report(events.snapshot(), accel_result.cycles)
+    return vwr2a, accel
+
+
+def test_table3_breakdown(benchmark, rng):
+    data = q15_noise(rng, 512)
+    vwr2a, accel = benchmark.pedantic(
+        _measure, args=(data,), rounds=1, iterations=1
+    )
+    rows = table3_breakdown(vwr2a)
+    accel_map = {
+        "DMA": "accel_dma",
+        "Memories": "accel_memories",
+        "Control": "accel_control",
+        "Datapath": "accel_datapath",
+    }
+    accel_rows = {
+        label: {"mw": accel.power_mw(component), "share": 0.0}
+        for label, component in accel_map.items()
+    }
+    total = sum(row["mw"] for row in accel_rows.values())
+    for row in accel_rows.values():
+        row["share"] = row["mw"] / total
+    accel_rows["Total"] = {"mw": total, "share": 1.0}
+    table = render_table3(
+        rows, accel_rows,
+        title="Table 3: power @ 512-pt real FFT (measured)",
+    )
+    print(table)
+    benchmark.extra_info["table"] = table
+    for label, (paper_accel, paper_vwr2a) in PAPER_ROWS.items():
+        assert rows[label]["mw"] == __import__("pytest").approx(
+            paper_vwr2a, rel=0.15
+        ), f"VWR2A {label}"
+        assert accel_rows[label]["mw"] == __import__("pytest").approx(
+            paper_accel, rel=0.15
+        ), f"ACCEL {label}"
+    ratio = rows["Total"]["mw"] / accel_rows["Total"]["mw"]
+    assert 4.5 < ratio < 6.5  # paper: 5.5

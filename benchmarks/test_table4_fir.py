@@ -1,0 +1,57 @@
+"""Table 4: 11-tap FIR — cycles and energy, CPU vs VWR2A.
+
+Paper: 13.4-16.1x speed-up and 69.9-72.4% energy savings across
+256/512/1024 points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import q15_noise
+from repro.baselines import fir_cycles
+from repro.energy import default_model
+from repro.kernels.fir import run_fir
+from repro.kernels.runner import KernelRunner
+
+PAPER = {
+    256: (24747, 0.37, 1849, 0.11),
+    512: (49253, 0.73, 3260, 0.21),
+    1024: (98283, 1.45, 6091, 0.40),
+}
+
+
+def _measure(taps, data):
+    model = default_model()
+    runner = KernelRunner()
+    before = runner.events_snapshot()
+    result = run_fir(runner, taps, data)
+    uj = model.vwr2a_report(
+        runner.events_since(before), result.run.total_cycles
+    ).total_uj
+    return result.run.total_cycles, uj
+
+
+@pytest.mark.parametrize("n", [256, 512, 1024])
+def test_table4_row(benchmark, rng, taps11, n):
+    data = q15_noise(rng, n)
+    cycles, uj = benchmark.pedantic(
+        _measure, args=(taps11, data), rounds=1, iterations=1
+    )
+    cpu_cycles = fir_cycles(n, 11)
+    cpu_uj = default_model().cpu_energy_uj(cpu_cycles)
+    paper_cpu_c, paper_cpu_e, paper_v_c, paper_v_e = PAPER[n]
+    speedup = cpu_cycles / cycles
+    savings = 1 - uj / cpu_uj
+    row = (
+        f"Table4 {n} pts: CPU {cpu_cycles} cyc / {cpu_uj:.2f} uJ, "
+        f"VWR2A {cycles} cyc / {uj:.2f} uJ -> {speedup:.1f}x "
+        f"(paper {paper_cpu_c / paper_v_c:.1f}x), savings "
+        f"{savings * 100:.0f}% (paper {(1 - paper_v_e / paper_cpu_e) * 100:.0f}%)"
+    )
+    print(row)
+    benchmark.extra_info["row"] = row
+    assert speedup > 8.0, "double-digit class speed-up expected"
+    assert savings > 0.55, "majority energy savings expected"
+    assert 0.7 < cycles / paper_v_c < 1.5
+    assert cpu_cycles == pytest.approx(paper_cpu_c, rel=0.02)

@@ -1,0 +1,88 @@
+"""Table 5: the MBioTracker application — cycles and energy per step.
+
+The paper's central claim: at application level the programmable VWR2A
+saves ~90% cycles and ~66% energy vs the CPU, while CPU + fixed-function
+FFT accelerator barely moves (9.8% / 3.9%) because only the FFT offloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app import WINDOW, respiration_signal, run_application
+from repro.energy import default_model
+from repro.kernels.runner import KernelRunner
+
+PAPER_CYCLES = {
+    "cpu": {"preprocessing": 49760, "delineation": 46268,
+            "features": 70639, "total": 166667},
+    "cpu_fft_accel": {"total": 150283},
+    "cpu_vwr2a": {"preprocessing": 3763, "delineation": 2723,
+                  "features": 8627, "total": 15113},
+}
+
+
+def _step_energy_uj(model, config, step):
+    """Energy of one step window from its event diff + CPU accounting."""
+    if config == "cpu_vwr2a":
+        vwr2a = model.vwr2a_report(step.events, step.cycles).total_uj
+    else:
+        vwr2a = 0.0
+    accel = model.accel_report(step.events, 0).total_uj
+    cpu = (
+        step.cpu_active * model.table.cpu_pj_per_cycle
+        + step.cpu_sleep * model.table.cpu_sleep_pj_per_cycle
+    ) * 1e-6
+    return vwr2a + accel + cpu
+
+
+def _run_all():
+    signal = respiration_signal(WINDOW)
+    return {
+        config: run_application(signal, config, KernelRunner())
+        for config in ("cpu", "cpu_fft_accel", "cpu_vwr2a")
+    }
+
+
+def test_table5_application(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    model = default_model()
+    lines = ["Table 5 (cycles / uJ per step):"]
+    energy = {}
+    for config, result in results.items():
+        total_uj = 0.0
+        cells = []
+        for name, step in result.steps.items():
+            uj = _step_energy_uj(model, config, step)
+            total_uj += uj
+            cells.append(f"{name} {step.cycles} / {uj:.2f}")
+        energy[config] = total_uj
+        lines.append(
+            f"  {config:15s} {'; '.join(cells)}; "
+            f"TOTAL {result.total_cycles} / {total_uj:.2f} uJ"
+        )
+    table = "\n".join(lines)
+    print(table)
+    benchmark.extra_info["table"] = table
+
+    cpu = results["cpu"]
+    accel = results["cpu_fft_accel"]
+    vwr2a = results["cpu_vwr2a"]
+    # All configurations agree on the prediction.
+    assert cpu.label == accel.label == vwr2a.label
+    # Cycle shape: CPU total within 5% of the paper's.
+    assert cpu.total_cycles == pytest.approx(166667, rel=0.05)
+    # The accelerator helps only a little (paper: 9.8%).
+    accel_savings = 1 - accel.total_cycles / cpu.total_cycles
+    assert 0.03 < accel_savings < 0.25
+    # VWR2A transforms the application (paper: 90.9%).
+    vwr2a_savings = 1 - vwr2a.total_cycles / cpu.total_cycles
+    assert vwr2a_savings > 0.78
+    # Energy: accelerator config ~flat, VWR2A config saves most (66.3%).
+    accel_e_savings = 1 - energy["cpu_fft_accel"] / energy["cpu"]
+    vwr2a_e_savings = 1 - energy["cpu_vwr2a"] / energy["cpu"]
+    assert accel_e_savings < 0.20
+    assert vwr2a_e_savings > 0.45
+    # Per-step: the accelerator cannot touch preprocessing/delineation.
+    for step in ("preprocessing", "delineation"):
+        assert accel.steps[step].cycles == cpu.steps[step].cycles

@@ -1,0 +1,28 @@
+"""VWR2A reproduction: cycle-level simulator, energy model and evaluation.
+
+Public entry points:
+
+* :class:`repro.core.Vwr2a` — the array simulator.
+* :class:`repro.asm.ProgramBuilder` / :func:`repro.asm.parse_program` —
+  writing kernels.
+* ``repro.kernels`` — the paper's kernel mappings (FFT, FIR, biosignal).
+* ``repro.soc`` — the host SoC substrate (CPU model, bus, FFT accelerator).
+* ``repro.energy`` — the calibrated activity-based energy model.
+* ``repro.app`` — the MBioTracker application of the paper's Table 5.
+"""
+
+from repro.arch import DEFAULT_PARAMS, DEFAULT_SOC_PARAMS, ArchParams, SocParams
+from repro.core import EventCounters, RunResult, Vwr2a
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "DEFAULT_SOC_PARAMS",
+    "ArchParams",
+    "SocParams",
+    "EventCounters",
+    "RunResult",
+    "Vwr2a",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""The MBioTracker biosignal application and synthetic signals."""
+
+from repro.app.mbiotracker import (
+    BANDS,
+    CONFIGS,
+    DELINEATION_THRESHOLD,
+    WINDOW,
+    AppResult,
+    StepResult,
+    run_application,
+)
+from repro.app.signals import (
+    RespirationConfig,
+    high_workload_config,
+    low_workload_config,
+    respiration_signal,
+)
+
+__all__ = [
+    "BANDS",
+    "CONFIGS",
+    "DELINEATION_THRESHOLD",
+    "WINDOW",
+    "AppResult",
+    "StepResult",
+    "run_application",
+    "RespirationConfig",
+    "high_workload_config",
+    "low_workload_config",
+    "respiration_signal",
+]

@@ -1,0 +1,81 @@
+"""Synthetic respiration signals.
+
+MBioTracker's clinical recordings are not public; the evaluation depends
+on the signal *shape* (quasi-periodic breathing with detectable extrema
+and respiration-band spectral content), which this generator reproduces:
+a breathing fundamental with harmonics, baseline wander, and sensor noise,
+quantized to q15 like the platform's analog front end would deliver.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.utils.fixed_point import q15_sat
+
+
+@dataclass(frozen=True)
+class RespirationConfig:
+    """Signal-shape parameters.
+
+    ``breath_period`` is in samples (e.g. 80 samples at 25.6 Hz is ~18.75
+    breaths/min); higher cognitive workload shortens and regularizes the
+    breathing — the effect the SVM classifies.
+    """
+
+    breath_period: float = 80.0
+    amplitude: int = 9000
+    harmonic_ratio: float = 0.22
+    wander_period: float = 700.0
+    wander_amplitude: int = 1200
+    noise_amplitude: int = 250
+    period_jitter: float = 0.04
+    seed: int = 1234
+
+
+def respiration_signal(n_samples: int, config: RespirationConfig = None):
+    """Generate ``n_samples`` of synthetic respiration in q15."""
+    if config is None:
+        config = RespirationConfig()
+    rng = random.Random(config.seed)
+    samples = []
+    phase = 0.0
+    period = config.breath_period
+    for i in range(n_samples):
+        phase += 2.0 * math.pi / period
+        if phase >= 2.0 * math.pi:
+            phase -= 2.0 * math.pi
+            jitter = 1.0 + config.period_jitter * (2 * rng.random() - 1)
+            period = config.breath_period * jitter
+        value = (
+            config.amplitude * math.sin(phase)
+            + config.amplitude * config.harmonic_ratio
+            * math.sin(2 * phase + 0.7)
+            + config.wander_amplitude
+            * math.sin(2.0 * math.pi * i / config.wander_period)
+            + rng.gauss(0.0, config.noise_amplitude)
+        )
+        samples.append(q15_sat(int(round(value))))
+    return samples
+
+
+def high_workload_config(seed: int = 77) -> RespirationConfig:
+    """Faster, more regular breathing (high cognitive load)."""
+    return RespirationConfig(
+        breath_period=52.0,
+        amplitude=7800,
+        period_jitter=0.015,
+        seed=seed,
+    )
+
+
+def low_workload_config(seed: int = 78) -> RespirationConfig:
+    """Slower, more variable breathing (resting)."""
+    return RespirationConfig(
+        breath_period=96.0,
+        amplitude=9500,
+        period_jitter=0.08,
+        seed=seed,
+    )

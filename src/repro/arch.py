@@ -1,0 +1,115 @@
+"""Architectural parameters of VWR2A and its host SoC.
+
+The defaults reproduce the configuration evaluated in the DAC'22 paper:
+a 4x2 reconfigurable array (two columns of four RCs), three 4096-bit VWRs
+per column, a shared 32 KiB SPM whose accelerator-side port matches the VWR
+width, an 8-entry scalar register file per column, and 64-entry program
+memories. Tests instantiate smaller variants to exercise the simulator's
+scaling logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.bits import is_power_of_two
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Static configuration of a VWR2A instance.
+
+    Attributes mirror Sec. 3 of the paper. ``vwr_words`` is the VWR width in
+    32-bit words (4096 bits = 128 words); each RC owns a contiguous
+    ``slice_words``-word slice (one quarter of the VWR). The SPM wide port
+    transfers one full VWR per cycle, so the SPM line size equals the VWR
+    width.
+    """
+
+    n_columns: int = 2
+    rcs_per_column: int = 4
+    n_vwrs: int = 3
+    vwr_words: int = 128
+    srf_entries: int = 8
+    spm_bytes: int = 32 * 1024
+    program_words: int = 64
+    rc_registers: int = 2
+    lcu_registers: int = 4
+    word_bytes: int = 4
+    clock_hz: float = 80e6
+
+    def __post_init__(self) -> None:
+        if self.n_columns < 1:
+            raise ValueError("need at least one column")
+        if self.rcs_per_column < 1:
+            raise ValueError("need at least one RC per column")
+        if self.n_vwrs < 1:
+            raise ValueError("need at least one VWR")
+        if self.vwr_words % self.rcs_per_column != 0:
+            raise ValueError(
+                f"VWR width ({self.vwr_words} words) must divide evenly "
+                f"across {self.rcs_per_column} RCs"
+            )
+        if not is_power_of_two(self.slice_words):
+            raise ValueError("RC slice width must be a power of two")
+        if self.spm_bytes % self.line_bytes != 0:
+            raise ValueError("SPM size must be a whole number of lines")
+
+    @property
+    def slice_words(self) -> int:
+        """Words of a VWR visible to one RC (one quarter by default)."""
+        return self.vwr_words // self.rcs_per_column
+
+    @property
+    def line_words(self) -> int:
+        """SPM line width in words: matches the VWR width (Sec. 3.2)."""
+        return self.vwr_words
+
+    @property
+    def line_bytes(self) -> int:
+        return self.line_words * self.word_bytes
+
+    @property
+    def spm_lines(self) -> int:
+        return self.spm_bytes // self.line_bytes
+
+    @property
+    def spm_words(self) -> int:
+        return self.spm_bytes // self.word_bytes
+
+    @property
+    def vwr_bits(self) -> int:
+        return self.vwr_words * self.word_bytes * 8
+
+    @property
+    def cycle_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.clock_hz
+
+
+#: The configuration synthesized and evaluated in the paper.
+DEFAULT_PARAMS = ArchParams()
+
+
+@dataclass(frozen=True)
+class SocParams:
+    """Host SoC parameters (Sec. 4.1): the MUSEIC-like biosignal platform."""
+
+    sram_bytes: int = 192 * 1024
+    sram_banks: int = 6
+    bus_word_bytes: int = 4
+    bus_burst_len: int = 8
+    bus_setup_cycles: int = 4
+    dma_setup_cycles: int = 24
+    clock_hz: float = 80e6
+
+    @property
+    def sram_bank_bytes(self) -> int:
+        return self.sram_bytes // self.sram_banks
+
+    @property
+    def cycle_s(self) -> float:
+        return 1.0 / self.clock_hz
+
+
+DEFAULT_SOC_PARAMS = SocParams()

@@ -1,0 +1,42 @@
+"""Disassembler: configuration words back to readable listings.
+
+Round-trips through ``repro.isa.encoding``: ``disassemble_words`` decodes
+raw configuration-memory integers, ``listing`` renders a structured program
+in the style of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.isa.bundle import Bundle
+from repro.isa.encoding import decode_bundle
+from repro.isa.program import ColumnProgram
+
+
+def listing(program: ColumnProgram) -> str:
+    """Table-1-style listing of a column program."""
+    header = f"{'PC':>3}  {'LCU':<28} {'LSU':<40} {'MXCU':<22} RC0-3"
+    lines = [header, "-" * len(header)]
+    for pc, bundle in enumerate(program.bundles):
+        rc_txt = " | ".join(str(rc) for rc in bundle.rcs)
+        lines.append(
+            f"{pc:>3}  {str(bundle.lcu):<28} {str(bundle.lsu):<40} "
+            f"{str(bundle.mxcu):<22} {rc_txt}"
+        )
+    if program.srf_init:
+        init = ", ".join(
+            f"SRF[{entry}]={value}"
+            for entry, value in sorted(program.srf_init.items())
+        )
+        lines.append(f"SRF init: {init}")
+    return "\n".join(lines)
+
+
+def disassemble_words(words, n_rcs: int = 4) -> list:
+    """Decode raw configuration words into bundles."""
+    return [decode_bundle(word, n_rcs=n_rcs) for word in words]
+
+
+def disassemble_listing(words, n_rcs: int = 4) -> str:
+    """Decode raw configuration words and render a listing."""
+    bundles = disassemble_words(words, n_rcs=n_rcs)
+    return listing(ColumnProgram(bundles=bundles))

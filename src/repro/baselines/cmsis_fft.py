@@ -1,0 +1,115 @@
+"""CMSIS-DSP-style q15 FFT (`arm_cfft_q15` / `arm_rfft_q15` semantics).
+
+Functional model: radix-2 decimation-in-time on q15 integers with the
+CMSIS overflow policy — every stage downscales by 2, so an N-point
+transform returns the spectrum divided by N (log2(N) total shifts). The
+real transform packs N reals into N/2 complex points, runs the complex
+kernel, and applies the conjugate-symmetric split. Cycle counts come from
+the Table-2-calibrated model in ``repro.baselines.cpu_cost``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.cpu_cost import cfft_cycles, rfft_cycles
+from repro.utils.bits import bit_reverse_indices, clog2, is_power_of_two
+from repro.utils.fixed_point import q15_sat
+
+
+@dataclass(frozen=True)
+class FftResult:
+    """q15 spectrum + modelled CPU cycles.
+
+    ``scale`` is the divisor the fixed-point flow applied; the true
+    spectrum is ``(re + i*im) * scale / 2**15`` in natural units.
+    """
+
+    re: list
+    im: list
+    scale: int
+    cycles: int
+
+    def spectrum(self) -> list:
+        factor = float(self.scale) / (1 << 15)
+        return [complex(r, i) * factor for r, i in zip(self.re, self.im)]
+
+
+def _twiddle_q15(k: int, n: int) -> tuple:
+    angle = -2.0 * math.pi * k / n
+    return (
+        int(round(math.cos(angle) * ((1 << 15) - 1))),
+        int(round(math.sin(angle) * ((1 << 15) - 1))),
+    )
+
+
+def _cfft_q15_in_place(re, im) -> int:
+    """Radix-2 DIT with per-stage >>1; returns the applied divisor (N)."""
+    n = len(re)
+    order = bit_reverse_indices(n)
+    re[:] = [re[i] for i in order]
+    im[:] = [im[i] for i in order]
+    length = 2
+    while length <= n:
+        half = length // 2
+        for start in range(0, n, length):
+            for k in range(half):
+                w_re, w_im = _twiddle_q15(k, length)
+                i = start + k
+                j = i + half
+                t_re = (re[j] * w_re - im[j] * w_im) >> 15
+                t_im = (re[j] * w_im + im[j] * w_re) >> 15
+                # CMSIS halves both terms each stage to prevent overflow.
+                re[j] = q15_sat((re[i] - t_re) >> 1)
+                im[j] = q15_sat((im[i] - t_im) >> 1)
+                re[i] = q15_sat((re[i] + t_re) >> 1)
+                im[i] = q15_sat((im[i] + t_im) >> 1)
+        length *= 2
+    return n
+
+
+def cfft_q15(re, im) -> FftResult:
+    """N-point complex q15 FFT (CMSIS scaling: output = X/N)."""
+    n = len(re)
+    if n != len(im):
+        raise ValueError("re/im length mismatch")
+    if not is_power_of_two(n) or n < 4:
+        raise ValueError(f"size must be a power of two >= 4, got {n}")
+    work_re = [int(v) for v in re]
+    work_im = [int(v) for v in im]
+    scale = _cfft_q15_in_place(work_re, work_im)
+    return FftResult(
+        re=work_re, im=work_im, scale=scale, cycles=cfft_cycles(n)
+    )
+
+
+def rfft_q15(samples) -> FftResult:
+    """N-point real q15 FFT returning the N/2+1 non-redundant bins."""
+    n = len(samples)
+    if not is_power_of_two(n) or n < 8:
+        raise ValueError(f"size must be a power of two >= 8, got {n}")
+    half = n // 2
+    work_re = [int(samples[2 * i]) for i in range(half)]
+    work_im = [int(samples[2 * i + 1]) for i in range(half)]
+    divisor = _cfft_q15_in_place(work_re, work_im)
+
+    out_re = [0] * (half + 1)
+    out_im = [0] * (half + 1)
+    out_re[0] = q15_sat(work_re[0] + work_im[0])
+    out_re[half] = q15_sat(work_re[0] - work_im[0])
+    for k in range(1, half):
+        j = half - k
+        f_re = (work_re[k] + work_re[j]) >> 1
+        f_im = (work_im[k] - work_im[j]) >> 1
+        g_re = (work_im[k] + work_im[j]) >> 1
+        g_im = (work_re[j] - work_re[k]) >> 1
+        w_re, w_im = _twiddle_q15(k, n)
+        t_re = (g_re * w_re - g_im * w_im) >> 15
+        t_im = (g_re * w_im + g_im * w_re) >> 15
+        out_re[k] = q15_sat(f_re + t_re)
+        out_im[k] = q15_sat(f_im + t_im)
+    # The packed flow divided by N/2; the split stage is scale-neutral.
+    return FftResult(
+        re=out_re, im=out_im, scale=divisor, cycles=rfft_cycles(n)
+    )

@@ -1,0 +1,201 @@
+"""Delineation and feature extraction (MBioTracker steps 2-3, Sec. 4.4.2).
+
+* **Delineation** "detects the maximums and minimums of the filtered signal
+  to extract inspiration and expiration times" — implemented as a
+  hysteresis state machine: track the running extremum and commit it once
+  the signal retreats by more than a threshold. This is the paper's
+  "typical example of control-intensive code ... a lot of if conditions
+  used to detect the valid minimums and maximums" (Sec. 5.2.2).
+* **Time features**: "mean, median, and RMS values" of the inspiration and
+  expiration durations (Sec. 4.4.2).
+* **Frequency features**: respiration-band power from the FFT of the
+  filtered signal.
+
+All functions are integer/fixed-point so that the same reference validates
+both the CPU baseline and the VWR2A kernel mappings. Cycle models use the
+Table-5-calibrated constants of ``repro.baselines.cpu_cost``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.cpu_cost import (
+    DELINEATION_PER_SAMPLE,
+    FEAT_BIN,
+    FEAT_EPILOGUE,
+    FEAT_MAC,
+    FEAT_SORT_STEP,
+)
+
+
+@dataclass(frozen=True)
+class Delineation:
+    """Extrema positions and the derived breath intervals."""
+
+    maxima: list         #: sample indices of committed maxima
+    minima: list         #: sample indices of committed minima
+    insp_times: list     #: min -> next max durations (samples)
+    exp_times: list      #: max -> next min durations (samples)
+    cycles: int          #: modelled CPU cycles
+
+
+def delineate(samples, threshold: int) -> Delineation:
+    """Hysteresis min/max detection.
+
+    A maximum is committed when the signal falls ``threshold`` below the
+    running peak; a minimum when it rises ``threshold`` above the running
+    trough. The first extremum direction is chosen by whichever hysteresis
+    band breaks first.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    maxima = []
+    minima = []
+    state = 0            # 0: undecided, +1: tracking max, -1: tracking min
+    best = 0
+    best_pos = 0
+    low = high = None
+    low_pos = high_pos = 0
+    for pos, value in enumerate(samples):
+        value = int(value)
+        if state == 0:
+            if low is None or value < low:
+                low, low_pos = value, pos
+            if high is None or value > high:
+                high, high_pos = value, pos
+            if value <= high - threshold:
+                maxima.append(high_pos)
+                state, best, best_pos = -1, value, pos
+            elif value >= low + threshold:
+                minima.append(low_pos)
+                state, best, best_pos = 1, value, pos
+        elif state == 1:
+            if value > best:
+                best, best_pos = value, pos
+            elif value <= best - threshold:
+                maxima.append(best_pos)
+                state, best, best_pos = -1, value, pos
+        else:
+            if value < best:
+                best, best_pos = value, pos
+            elif value >= best + threshold:
+                minima.append(best_pos)
+                state, best, best_pos = 1, value, pos
+
+    insp = _intervals(minima, maxima)
+    exp = _intervals(maxima, minima)
+    cycles = int(round(DELINEATION_PER_SAMPLE * len(samples)))
+    return Delineation(
+        maxima=maxima, minima=minima, insp_times=insp, exp_times=exp,
+        cycles=cycles,
+    )
+
+
+def _intervals(froms, tos) -> list:
+    """Durations from each ``froms`` event to the next ``tos`` event."""
+    result = []
+    j = 0
+    for start in froms:
+        while j < len(tos) and tos[j] <= start:
+            j += 1
+        if j < len(tos):
+            result.append(tos[j] - start)
+    return result
+
+
+# -- time/frequency features --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """The feature vector fed to the SVM, plus modelled CPU cycles."""
+
+    values: list
+    cycles: int
+
+
+def mean_int(values) -> int:
+    """Integer mean (rounded toward zero, hardware-style)."""
+    if not values:
+        return 0
+    return int(sum(int(v) for v in values) / len(values))
+
+
+def median_int(values) -> int:
+    """Integer median (lower median for even lengths)."""
+    if not values:
+        return 0
+    ordered = sorted(int(v) for v in values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def rms_int(values) -> int:
+    """Integer RMS via integer square root."""
+    if not values:
+        return 0
+    acc = sum(int(v) * int(v) for v in values)
+    return isqrt_int(acc // len(values))
+
+
+def isqrt_int(value: int) -> int:
+    """Non-negative integer square root."""
+    if value < 0:
+        raise ValueError("isqrt of a negative value")
+    return math.isqrt(value)
+
+
+def band_power(spectrum_re, spectrum_im, lo_bin: int, hi_bin: int) -> int:
+    """Sum of |X[k]|^2 over ``[lo_bin, hi_bin)``."""
+    if not 0 <= lo_bin <= hi_bin <= len(spectrum_re):
+        raise ValueError(
+            f"band [{lo_bin}, {hi_bin}) outside spectrum of "
+            f"{len(spectrum_re)} bins"
+        )
+    return sum(
+        int(spectrum_re[k]) ** 2 + int(spectrum_im[k]) ** 2
+        for k in range(lo_bin, hi_bin)
+    )
+
+
+def extract_features(
+    insp_times, exp_times, spectrum_re, spectrum_im,
+    resp_band=(2, 34),
+) -> FeatureSet:
+    """The eight MBioTracker-style features.
+
+    0-2: mean / median / RMS of inspiration times,
+    3-5: mean / median / RMS of expiration times,
+    6:   respiration-band power of the filtered-signal spectrum,
+    7:   breath count in the window.
+    """
+    lo_bin, hi_bin = resp_band
+    values = [
+        mean_int(insp_times),
+        median_int(insp_times),
+        rms_int(insp_times),
+        mean_int(exp_times),
+        median_int(exp_times),
+        rms_int(exp_times),
+        band_power(spectrum_re, spectrum_im, lo_bin, hi_bin),
+        len(insp_times),
+    ]
+    cycles = _feature_cycles(
+        len(insp_times), len(exp_times), hi_bin - lo_bin
+    )
+    return FeatureSet(values=values, cycles=cycles)
+
+
+def _feature_cycles(n_insp: int, n_exp: int, n_bins: int) -> int:
+    """Calibrated CPU cost of the feature computation (without the FFT)."""
+    sort_steps = sum(
+        n * max(n.bit_length(), 1) for n in (n_insp, n_exp)
+    )
+    macs = 2 * (n_insp + n_exp)          # mean + RMS accumulation
+    return int(round(
+        FEAT_SORT_STEP * sort_steps
+        + FEAT_MAC * macs
+        + FEAT_BIN * n_bins
+        + FEAT_EPILOGUE * 8
+    ))

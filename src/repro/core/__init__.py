@@ -1,0 +1,44 @@
+"""Cycle-level VWR2A simulator: columns, memories, DMA, top level."""
+
+from repro.core.alu import alu_execute
+from repro.core.cgra import RunResult, Vwr2a
+from repro.core.column import Column
+from repro.core.config_mem import ConfigurationMemory
+from repro.core.dma import Dma
+from repro.core.errors import (
+    AddressError,
+    ConfigurationError,
+    ProgramError,
+    SimulationError,
+    StructuralHazardError,
+)
+from repro.core.events import Ev, EventCounters
+from repro.core.hazards import check_bundle, check_program
+from repro.core.shuffle import shuffle
+from repro.core.spm import Scratchpad
+from repro.core.srf import ScalarRegisterFile
+from repro.core.synchronizer import Synchronizer
+from repro.core.vwr import VeryWideRegister
+
+__all__ = [
+    "alu_execute",
+    "RunResult",
+    "Vwr2a",
+    "Column",
+    "ConfigurationMemory",
+    "Dma",
+    "AddressError",
+    "ConfigurationError",
+    "ProgramError",
+    "SimulationError",
+    "StructuralHazardError",
+    "Ev",
+    "EventCounters",
+    "check_bundle",
+    "check_program",
+    "shuffle",
+    "Scratchpad",
+    "ScalarRegisterFile",
+    "Synchronizer",
+    "VeryWideRegister",
+]

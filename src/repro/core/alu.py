@@ -1,0 +1,92 @@
+"""The RC 32-bit ALU (Sec. 3.1).
+
+All operations complete in one clock cycle. The multiplier has two modes:
+standard (low 32 bits kept) and fixed-point 16.15 (low 16 bits of the
+product discarded, next 32 kept — implemented as an arithmetic shift by 15,
+see ``repro.utils.fixed_point``). Arithmetic wraps in two's complement as a
+synthesized ALU does; shifts use the low five bits of the shift amount.
+Operand isolation (the paper's energy trick) is an energy-model concern,
+not a functional one: NOP slots simply log no ALU events.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Ev
+from repro.isa.rc import RCOp
+from repro.utils.bits import to_signed32, to_unsigned32
+from repro.utils.fixed_point import fx_mul, wrap32
+
+#: ALU op -> energy-event class logged when the op executes.
+ALU_EVENT = {
+    RCOp.SADD: Ev.RC_ALU_ADD,
+    RCOp.SSUB: Ev.RC_ALU_ADD,
+    RCOp.SMAX: Ev.RC_ALU_ADD,
+    RCOp.SMIN: Ev.RC_ALU_ADD,
+    RCOp.SMUL: Ev.RC_ALU_MUL,
+    RCOp.FXPMUL: Ev.RC_ALU_MUL,
+    RCOp.SADD16: Ev.RC_ALU_ADD,
+    RCOp.SSUB16: Ev.RC_ALU_ADD,
+    RCOp.FXPMUL16: Ev.RC_ALU_MUL,
+    RCOp.SLL: Ev.RC_ALU_SHIFT,
+    RCOp.SRL: Ev.RC_ALU_SHIFT,
+    RCOp.SRA: Ev.RC_ALU_SHIFT,
+    RCOp.LAND: Ev.RC_ALU_LOGIC,
+    RCOp.LOR: Ev.RC_ALU_LOGIC,
+    RCOp.LXOR: Ev.RC_ALU_LOGIC,
+    RCOp.LNOT: Ev.RC_ALU_LOGIC,
+    RCOp.MOV: Ev.RC_ALU_MOV,
+}
+
+
+def alu_execute(op: RCOp, a: int, b: int) -> int:
+    """Compute ``op(a, b)`` on signed 32-bit words; wraps on overflow."""
+    if op is RCOp.SADD:
+        return wrap32(a + b)
+    if op is RCOp.SSUB:
+        return wrap32(a - b)
+    if op is RCOp.SMUL:
+        return wrap32(a * b)
+    if op is RCOp.FXPMUL:
+        return fx_mul(a, b)
+    if op is RCOp.SLL:
+        return wrap32(to_unsigned32(a) << (b & 31))
+    if op is RCOp.SRL:
+        return to_signed32(to_unsigned32(a) >> (b & 31))
+    if op is RCOp.SRA:
+        return a >> (b & 31)
+    if op is RCOp.LAND:
+        return to_signed32(to_unsigned32(a) & to_unsigned32(b))
+    if op is RCOp.LOR:
+        return to_signed32(to_unsigned32(a) | to_unsigned32(b))
+    if op is RCOp.LXOR:
+        return to_signed32(to_unsigned32(a) ^ to_unsigned32(b))
+    if op is RCOp.LNOT:
+        return to_signed32(~to_unsigned32(a))
+    if op is RCOp.MOV:
+        return wrap32(a)
+    if op is RCOp.SMAX:
+        return a if a >= b else b
+    if op is RCOp.SMIN:
+        return a if a <= b else b
+    if op in (RCOp.SADD16, RCOp.SSUB16, RCOp.FXPMUL16):
+        return _simd16(op, a, b)
+    raise ValueError(f"cannot execute {op!r}")
+
+
+def _simd16(op: RCOp, a: int, b: int) -> int:
+    """Two independent signed 16-bit lanes (the paper's Sec. 5.1.1
+    proposed 16-bit mode). Lanes wrap like the 32-bit datapath does."""
+    from repro.utils.bits import sign_extend
+
+    result = 0
+    for shift in (0, 16):
+        la = sign_extend(to_unsigned32(a) >> shift, 16)
+        lb = sign_extend(to_unsigned32(b) >> shift, 16)
+        if op is RCOp.SADD16:
+            lane = la + lb
+        elif op is RCOp.SSUB16:
+            lane = la - lb
+        else:
+            lane = (la * lb) >> 15
+        result |= (lane & 0xFFFF) << shift
+    return to_signed32(result)

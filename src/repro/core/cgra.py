@@ -1,0 +1,150 @@
+"""The VWR2A top level (Fig. 1).
+
+Glues together the two columns, the shared SPM, the configuration memory,
+the synchronizer and the DMA. The host-facing API is the one the SoC uses
+over the slave port: store kernel configurations, launch kernels, trigger
+DMA transfers, and receive completion interrupts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import DEFAULT_PARAMS, ArchParams
+from repro.core.column import Column
+from repro.core.config_mem import ConfigurationMemory
+from repro.core.dma import Dma
+from repro.core.errors import ConfigurationError, ProgramError
+from repro.core.events import Ev, EventCounters
+from repro.core.hazards import check_program
+from repro.core.spm import Scratchpad
+from repro.core.synchronizer import Synchronizer
+from repro.isa.program import KernelConfig
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one kernel execution on the array."""
+
+    name: str
+    cycles: int            #: execution cycles (excludes configuration load)
+    config_cycles: int     #: cycles spent loading the configuration words
+    column_steps: dict     #: per-column executed-bundle counts
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles + self.config_cycles
+
+
+class Vwr2a:
+    """A VWR2A instance: reconfigurable array + memories + DMA."""
+
+    #: Runaway guard for kernel execution.
+    DEFAULT_MAX_CYCLES = 10_000_000
+
+    def __init__(
+        self,
+        params: ArchParams = DEFAULT_PARAMS,
+        events: EventCounters = None,
+        bus=None,
+        dma_setup_cycles: int = 24,
+    ) -> None:
+        self.params = params
+        self.events = events if events is not None else EventCounters()
+        self.spm = Scratchpad(
+            params.spm_lines, params.line_words, self.events
+        )
+        self.columns = [
+            Column(i, params, self.spm, self.events)
+            for i in range(params.n_columns)
+        ]
+        self.config_mem = ConfigurationMemory(params)
+        self.synchronizer = Synchronizer()
+        self.dma = None
+        if bus is not None:
+            self.attach_bus(bus, dma_setup_cycles)
+
+    def attach_bus(self, bus, dma_setup_cycles: int = 24) -> None:
+        """Connect the AHB master port: enables DMA transfers."""
+        self.dma = Dma(
+            self.spm, bus, self.events, setup_cycles=dma_setup_cycles
+        )
+
+    # -- configuration ------------------------------------------------------
+
+    def store_kernel(self, config: KernelConfig) -> None:
+        """Validate (including hazards) and store a kernel configuration."""
+        config.validate(self.params)
+        for program in config.columns.values():
+            check_program(program.bundles)
+        self.config_mem.store(config)
+
+    def load_kernel(self, name: str) -> int:
+        """Copy a stored configuration into the program memories.
+
+        Returns the cycle cost (one cycle per configuration word plus one
+        per initial SRF entry, per column).
+        """
+        config = self.config_mem.get(name)
+        cycles = 0
+        for col, program in config.columns.items():
+            self.columns[col].load(program)
+            cost = len(program.bundles) + len(program.srf_init)
+            self.events.add(Ev.CONFIG_WORD, len(program.bundles))
+            self.events.add(Ev.SRF_WRITE, len(program.srf_init))
+            cycles += cost
+        self.synchronizer.kernel_started(name, config.columns.keys())
+        return cycles
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, name: str, max_cycles: int = None) -> RunResult:
+        """Load and execute a stored kernel to completion."""
+        if max_cycles is None:
+            max_cycles = self.DEFAULT_MAX_CYCLES
+        config_cycles = self.load_kernel(name)
+        config = self.config_mem.get(name)
+        active = [self.columns[col] for col in config.columns]
+        cycles = 0
+        while any(not col.done for col in active):
+            if cycles >= max_cycles:
+                raise ProgramError(
+                    f"kernel {name!r} exceeded {max_cycles} cycles; "
+                    f"missing EXIT or diverging loop?"
+                )
+            for col in active:
+                col.step()
+            cycles += 1
+        self.synchronizer.kernel_finished(name, cycles, config.columns.keys())
+        return RunResult(
+            name=name,
+            cycles=cycles,
+            config_cycles=config_cycles,
+            column_steps={col.index: col.steps for col in active},
+        )
+
+    def execute(self, config: KernelConfig, max_cycles: int = None) -> RunResult:
+        """Store + run in one call (convenience for tests and examples)."""
+        self.store_kernel(config)
+        return self.run(config.name, max_cycles=max_cycles)
+
+    # -- DMA convenience ------------------------------------------------------
+
+    def dma_to_spm(self, sram, src_word: int, dst_word: int, n: int) -> int:
+        self._need_dma()
+        cycles = self.dma.to_spm(sram, src_word, dst_word, n)
+        self.synchronizer.dma_finished()
+        return cycles
+
+    def dma_from_spm(self, sram, src_word: int, dst_word: int, n: int) -> int:
+        self._need_dma()
+        cycles = self.dma.from_spm(sram, src_word, dst_word, n)
+        self.synchronizer.dma_finished()
+        return cycles
+
+    def _need_dma(self) -> None:
+        if self.dma is None:
+            raise ConfigurationError(
+                "no bus attached: construct Vwr2a(bus=...) or call "
+                "attach_bus() before using the DMA"
+            )

@@ -1,0 +1,61 @@
+"""The configuration memory (Fig. 1, Sec. 3.1).
+
+"The configuration words are stored in the configuration memory and loaded
+to the RCs' local program memory when a kernel execution starts." We store
+kernels both as structured :class:`KernelConfig` objects and as their exact
+binary encodings (``repro.isa.encoding``), so the capacity accounting and
+the load-cycle cost are real.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.isa.encoding import bundle_bits, encode_bundle
+from repro.isa.program import KernelConfig
+
+
+class ConfigurationMemory:
+    """Holds the configurations of every kernel known to the array."""
+
+    def __init__(self, params) -> None:
+        self.params = params
+        self._kernels = {}
+        self._encoded = {}
+
+    def store(self, config: KernelConfig) -> None:
+        """Validate, encode and store a kernel configuration."""
+        config.validate(self.params)
+        encoded = {
+            col: [encode_bundle(b) for b in program.bundles]
+            for col, program in config.columns.items()
+        }
+        self._kernels[config.name] = config
+        self._encoded[config.name] = encoded
+
+    def get(self, name: str) -> KernelConfig:
+        if name not in self._kernels:
+            raise ConfigurationError(
+                f"kernel {name!r} is not in the configuration memory "
+                f"(known: {sorted(self._kernels)})"
+            )
+        return self._kernels[name]
+
+    def encoded(self, name: str) -> dict:
+        """Binary configuration words of a stored kernel, per column."""
+        self.get(name)
+        return self._encoded[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def kernels(self) -> list:
+        return sorted(self._kernels)
+
+    def total_bits(self) -> int:
+        """Total configuration storage currently used, in bits."""
+        word_bits = bundle_bits(self.params.rcs_per_column)
+        return sum(
+            word_bits * len(words)
+            for encoded in self._encoded.values()
+            for words in encoded.values()
+        )

@@ -1,0 +1,75 @@
+"""VWR2A's DMA engine.
+
+"A DMA performs the data transfers between the SPM and the system memory"
+(Sec. 3.2) through VWR2A's AHB master port (Sec. 4.2). Transfers are
+word-granular on both sides — the system side is bus-width limited and the
+SPM narrow port is word-wide — which is what makes the FIR kernel's
+overlapped data layout and sparse-output compaction free to *arrange*
+(though every word still pays its bus and memory energy/cycles).
+
+The cycle cost of a transfer of N words is::
+
+    dma_setup + bus.burst_cycles(N)
+
+where ``dma_setup`` covers the CPU programming the descriptor over the
+slave port, and the bus term models AHB burst transfers (address phase per
+burst + one data beat per word).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import AddressError
+from repro.core.events import Ev, EventCounters
+
+
+class Dma:
+    """Word-granular DMA between a system memory and the SPM."""
+
+    def __init__(self, spm, bus, events: EventCounters, setup_cycles: int = 24):
+        self.spm = spm
+        self.bus = bus
+        self.events = events
+        self.setup_cycles = setup_cycles
+
+    # -- system memory -> SPM ----------------------------------------------
+
+    def to_spm(self, sram, src_word: int, dst_word: int, n_words: int) -> int:
+        """Copy ``n_words`` from system memory into the SPM; return cycles."""
+        return self.to_spm_gather(
+            sram, range(src_word, src_word + n_words), dst_word
+        )
+
+    def to_spm_gather(self, sram, src_words, dst_word: int) -> int:
+        """Gather system-memory words (arbitrary order, repeats allowed)
+        into consecutive SPM words starting at ``dst_word``."""
+        src_words = list(src_words)
+        for offset, src in enumerate(src_words):
+            self.spm.write_word(dst_word + offset, sram.read_word(src))
+        return self._transfer_cycles(len(src_words))
+
+    # -- SPM -> system memory ----------------------------------------------
+
+    def from_spm(self, sram, src_word: int, dst_word: int, n_words: int) -> int:
+        """Copy ``n_words`` from the SPM into system memory; return cycles."""
+        return self.from_spm_gather(
+            sram, range(src_word, src_word + n_words), dst_word
+        )
+
+    def from_spm_gather(self, sram, src_words, dst_word: int) -> int:
+        """Gather SPM words (arbitrary order — used to compact the FIR
+        kernel's sparse output) into consecutive system-memory words."""
+        src_words = list(src_words)
+        for offset, src in enumerate(src_words):
+            sram.write_word(dst_word + offset, self.spm.read_word(src))
+        return self._transfer_cycles(len(src_words))
+
+    # -- cost model ---------------------------------------------------------
+
+    def _transfer_cycles(self, n_words: int) -> int:
+        if n_words < 0:
+            raise AddressError(f"negative transfer length {n_words}")
+        if n_words == 0:
+            return 0
+        self.events.add(Ev.DMA_SETUP)
+        self.events.add(Ev.DMA_BEAT, n_words)
+        return self.setup_cycles + self.bus.burst_cycles(n_words)

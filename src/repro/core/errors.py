@@ -1,0 +1,37 @@
+"""Simulator error types.
+
+The simulator is strict: structural-hazard violations (single-ported SRF /
+VWR over-subscription), out-of-range addresses and malformed programs raise
+instead of silently mis-executing, so every kernel that ships in
+``repro.kernels`` is hazard-clean by construction.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ProgramError(SimulationError):
+    """Malformed program: bad targets, missing EXIT, PC overrun."""
+
+
+class StructuralHazardError(SimulationError):
+    """A single-ported resource was requested more than once in a cycle."""
+
+    def __init__(self, resource: str, pc: int, detail: str = "") -> None:
+        message = f"structural hazard on {resource} at PC {pc}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.resource = resource
+        self.pc = pc
+
+
+class AddressError(SimulationError):
+    """Out-of-range SPM/VWR/SRF access."""
+
+
+class ConfigurationError(SimulationError):
+    """Bad kernel configuration (unknown kernel, oversized program...)."""

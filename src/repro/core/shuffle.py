@@ -1,0 +1,67 @@
+"""The hardcoded shuffle unit (Sec. 3.3.1).
+
+"It takes as input the data contained in the VWRs A and B, applies a
+hardcoded shuffle operation on the data, and stores the result in the
+VWR C." All four operations view the inputs as the 2V-word concatenation
+A:B (V = VWR width in words) and produce V words:
+
+* *Words interleaving*: A and B words are interleaved; the result is twice
+  a VWR, the LO/HI mode selects the lower or upper half.
+* *Even / odd index pruning*: removes the even- (resp. odd-) indexed
+  elements of A and of B and outputs the remaining elements of both.
+* *Bit-reversal*: bit-reversal permutation of the 2V concatenation; LO/HI
+  selects a half.
+* *Circular shift*: the concatenation is shifted up by one RC slice
+  (32 words in the paper's configuration) circularly — the upper slice
+  wraps to the lower positions; LO/HI selects a half.
+"""
+
+from __future__ import annotations
+
+from repro.isa.fields import ShuffleMode
+from repro.utils.bits import bit_reverse, clog2, is_power_of_two
+
+
+def shuffle(a, b, mode: ShuffleMode, slice_words: int = 32) -> list:
+    """Apply ``mode`` to VWR contents ``a`` and ``b``; return V words.
+
+    ``a`` and ``b`` must have equal power-of-two length V; the result list
+    also has length V. ``slice_words`` sets the circular-shift distance
+    (one RC slice).
+    """
+    if len(a) != len(b):
+        raise ValueError(f"VWR length mismatch: {len(a)} vs {len(b)}")
+    width = len(a)
+    if not is_power_of_two(width):
+        raise ValueError(f"VWR width must be a power of two, got {width}")
+    concat = list(a) + list(b)
+
+    if mode in (ShuffleMode.INTERLEAVE_LO, ShuffleMode.INTERLEAVE_HI):
+        interleaved = [0] * (2 * width)
+        interleaved[0::2] = a
+        interleaved[1::2] = b
+        half = 0 if mode is ShuffleMode.INTERLEAVE_LO else width
+        return interleaved[half:half + width]
+
+    if mode is ShuffleMode.EVEN_PRUNE:
+        # Even-indexed elements pruned: the odd-indexed ones remain.
+        return list(a[1::2]) + list(b[1::2])
+
+    if mode is ShuffleMode.ODD_PRUNE:
+        return list(a[0::2]) + list(b[0::2])
+
+    if mode in (ShuffleMode.BITREV_LO, ShuffleMode.BITREV_HI):
+        bits = clog2(2 * width)
+        reordered = [concat[bit_reverse(i, bits)] for i in range(2 * width)]
+        half = 0 if mode is ShuffleMode.BITREV_LO else width
+        return reordered[half:half + width]
+
+    if mode in (ShuffleMode.CSHIFT_LO, ShuffleMode.CSHIFT_HI):
+        size = 2 * width
+        shifted = [
+            concat[(i - slice_words) % size] for i in range(size)
+        ]
+        half = 0 if mode is ShuffleMode.CSHIFT_LO else width
+        return shifted[half:half + width]
+
+    raise ValueError(f"unknown shuffle mode {mode!r}")

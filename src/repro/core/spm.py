@@ -1,0 +1,96 @@
+"""The shared scratchpad memory (Sec. 3.2).
+
+"VWR2A contains a dedicated 32 KiB SPM shared by all the columns. The SPM
+has a double interface: on the system side, it has the system bus width.
+On the accelerator side, it has the same width as the VWRs." The wide side
+moves one full line (= one VWR, 128 words) per cycle and is line-aligned —
+the wide interface is built by concatenating narrower memory macros, so
+unaligned wide access does not exist. The narrow side moves single 32-bit
+words (used by the DMA).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import AddressError
+from repro.core.events import Ev, EventCounters
+from repro.utils.bits import to_signed32
+
+
+class Scratchpad:
+    """Dual-interface SPM: wide line port + narrow word port."""
+
+    def __init__(
+        self, n_lines: int, line_words: int, events: EventCounters
+    ) -> None:
+        self.n_lines = n_lines
+        self.line_words = line_words
+        self.n_words = n_lines * line_words
+        self._events = events
+        self._data = [0] * self.n_words
+
+    # -- wide (accelerator-side) interface --------------------------------
+
+    def read_line(self, line: int) -> list:
+        """One-cycle wide read of a full line."""
+        self._check_line(line)
+        self._events.add(Ev.SPM_WIDE_READ)
+        base = line * self.line_words
+        return self._data[base:base + self.line_words]
+
+    def write_line(self, line: int, values) -> None:
+        """One-cycle wide write of a full line."""
+        self._check_line(line)
+        if len(values) != self.line_words:
+            raise AddressError(
+                f"wide write of {len(values)} words; lines hold "
+                f"{self.line_words}"
+            )
+        self._events.add(Ev.SPM_WIDE_WRITE)
+        base = line * self.line_words
+        self._data[base:base + self.line_words] = [
+            to_signed32(v) for v in values
+        ]
+
+    # -- narrow (system-side) interface -----------------------------------
+
+    def read_word(self, addr: int) -> int:
+        self._check_word(addr)
+        self._events.add(Ev.SPM_WORD_READ)
+        return self._data[addr]
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check_word(addr)
+        self._events.add(Ev.SPM_WORD_WRITE)
+        self._data[addr] = to_signed32(value)
+
+    # -- debug/test accessors (no events) ----------------------------------
+
+    def peek_words(self, addr: int, count: int) -> list:
+        if count < 0 or addr < 0 or addr + count > self.n_words:
+            raise AddressError(
+                f"peek of {count} words at {addr} exceeds SPM "
+                f"({self.n_words} words)"
+            )
+        return self._data[addr:addr + count]
+
+    def poke_words(self, addr: int, values) -> None:
+        if addr < 0 or addr + len(values) > self.n_words:
+            raise AddressError(
+                f"poke of {len(values)} words at {addr} exceeds SPM "
+                f"({self.n_words} words)"
+            )
+        self._data[addr:addr + len(values)] = [
+            to_signed32(v) for v in values
+        ]
+
+    def _check_line(self, line: int) -> None:
+        if not 0 <= line < self.n_lines:
+            raise AddressError(
+                f"SPM line {line} out of range [0, {self.n_lines})"
+            )
+
+    def _check_word(self, addr: int) -> None:
+        if not 0 <= addr < self.n_words:
+            raise AddressError(
+                f"SPM word address {addr} out of range [0, {self.n_words})"
+            )

@@ -1,0 +1,57 @@
+"""The synchronizer (Fig. 1).
+
+The synchronizer sequences kernel launches, observes the LCU end-of-kernel
+notifications and raises the interrupt line towards the host CPU when a
+kernel execution or a DMA transfer completes (Sec. 4.2). In this model it
+is the bookkeeping point for kernel completions; the host platform polls or
+registers a callback for the interrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelCompletion:
+    """Record of one finished kernel execution."""
+
+    name: str
+    cycles: int
+    columns: tuple
+
+
+class Synchronizer:
+    """Tracks running kernels and signals completion interrupts."""
+
+    def __init__(self) -> None:
+        self.completions = []
+        self.irq_pending = False
+        self._irq_callback = None
+
+    def on_irq(self, callback) -> None:
+        """Register a host callback fired on every completion."""
+        self._irq_callback = callback
+
+    def kernel_started(self, name: str, columns) -> None:
+        self._running = (name, tuple(columns))
+
+    def kernel_finished(self, name: str, cycles: int, columns) -> None:
+        record = KernelCompletion(
+            name=name, cycles=cycles, columns=tuple(columns)
+        )
+        self.completions.append(record)
+        self.irq_pending = True
+        if self._irq_callback is not None:
+            self._irq_callback(record)
+
+    def dma_finished(self) -> None:
+        self.irq_pending = True
+
+    def acknowledge(self) -> None:
+        """Host CPU clears the interrupt."""
+        self.irq_pending = False
+
+    @property
+    def total_kernel_cycles(self) -> int:
+        return sum(c.cycles for c in self.completions)

@@ -1,0 +1,31 @@
+"""Activity-based energy model calibrated to the paper's anchors."""
+
+from repro.energy import anchors
+from repro.energy.calibration import ActivityAnchor, calibrate
+from repro.energy.model import (
+    ACCEL_COMPONENTS,
+    COMPONENT_OF_EVENT,
+    VWR2A_COMPONENTS,
+    EnergyModel,
+    EnergyReport,
+    EnergyTable,
+)
+from repro.energy.report import TABLE3_ROWS, render_table3, table3_breakdown
+from repro.energy.tables import default_model, default_table
+
+__all__ = [
+    "anchors",
+    "ActivityAnchor",
+    "calibrate",
+    "ACCEL_COMPONENTS",
+    "COMPONENT_OF_EVENT",
+    "VWR2A_COMPONENTS",
+    "EnergyModel",
+    "EnergyReport",
+    "EnergyTable",
+    "TABLE3_ROWS",
+    "render_table3",
+    "table3_breakdown",
+    "default_model",
+    "default_table",
+]

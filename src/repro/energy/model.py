@@ -1,0 +1,182 @@
+"""Activity-based energy model.
+
+``EnergyTable`` maps event names to per-event energies (pJ) and components
+to leakage (pJ/cycle); ``EnergyModel`` folds an event tally plus elapsed
+cycles into per-component energies, mirroring the paper's
+switching-activity -> PrimePower flow at event granularity.
+
+Component taxonomy (Table 3 of the paper):
+
+* ``dma`` / ``memories`` (SPM + VWRs) / ``control`` / ``datapath`` —
+  the VWR2A breakdown;
+* ``accel_*`` — the fixed-function FFT accelerator;
+* ``cpu`` / ``system`` — the host processor and the bus/SRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import Ev
+
+#: Which Table-3 component each event belongs to.
+COMPONENT_OF_EVENT = {
+    Ev.SPM_WIDE_READ: "memories",
+    Ev.SPM_WIDE_WRITE: "memories",
+    Ev.SPM_WORD_READ: "memories",
+    Ev.SPM_WORD_WRITE: "memories",
+    Ev.VWR_WIDE_READ: "memories",
+    Ev.VWR_WIDE_WRITE: "memories",
+    Ev.VWR_WORD_READ: "memories",
+    Ev.VWR_WORD_WRITE: "memories",
+    Ev.SRF_READ: "control",
+    Ev.SRF_WRITE: "control",
+    Ev.PM_FETCH: "control",
+    Ev.LCU_ISSUE: "control",
+    Ev.LCU_BRANCH: "control",
+    Ev.LSU_ISSUE: "control",
+    Ev.MXCU_ISSUE: "control",
+    Ev.CONFIG_WORD: "control",
+    Ev.COLUMN_CYCLE: "control",
+    Ev.RC_ISSUE: "datapath",
+    Ev.RC_ALU_ADD: "datapath",
+    Ev.RC_ALU_MUL: "datapath",
+    Ev.RC_ALU_SHIFT: "datapath",
+    Ev.RC_ALU_LOGIC: "datapath",
+    Ev.RC_ALU_MOV: "datapath",
+    Ev.RC_RF_READ: "datapath",
+    Ev.RC_RF_WRITE: "datapath",
+    Ev.SHUFFLE_OP: "memories",
+    Ev.DMA_BEAT: "dma",
+    Ev.DMA_SETUP: "dma",
+    Ev.BUS_BEAT: "system",
+    Ev.BUS_SETUP: "system",
+    Ev.SRAM_READ: "system",
+    Ev.SRAM_WRITE: "system",
+    Ev.CPU_CYCLE: "cpu",
+    Ev.FFT_ACCEL_BUTTERFLY: "accel_datapath",
+    Ev.FFT_ACCEL_MEM: "accel_memories",
+    Ev.FFT_ACCEL_IO: "accel_dma",
+    Ev.FFT_ACCEL_CYCLE: "accel_control",
+}
+
+#: VWR2A-side components with per-cycle leakage (charged while the
+#: accelerator power domain is on).
+VWR2A_COMPONENTS = ("dma", "memories", "control", "datapath")
+ACCEL_COMPONENTS = (
+    "accel_dma", "accel_memories", "accel_control", "accel_datapath"
+)
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event energies (pJ) and per-component leakage (pJ/cycle)."""
+
+    per_event_pj: dict
+    leakage_pj_per_cycle: dict
+    cpu_pj_per_cycle: float
+    cpu_sleep_pj_per_cycle: float
+
+    def event_energy(self, name: str) -> float:
+        return self.per_event_pj.get(name, 0.0)
+
+
+@dataclass
+class EnergyReport:
+    """Per-component energies in pJ for one measured window."""
+
+    by_component: dict
+    cycles: int
+    clock_hz: float
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.by_component.values())
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj * 1e-6
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    def power_mw(self, component: str = None) -> float:
+        """Average power over the window, total or per component."""
+        if self.seconds == 0:
+            return 0.0
+        pj = (
+            self.total_pj if component is None
+            else self.by_component.get(component, 0.0)
+        )
+        return pj * 1e-12 / self.seconds * 1e3
+
+    def component_uj(self, component: str) -> float:
+        return self.by_component.get(component, 0.0) * 1e-6
+
+
+class EnergyModel:
+    """Folds event tallies into energies with a given table."""
+
+    def __init__(self, table: EnergyTable, clock_hz: float = 80e6) -> None:
+        self.table = table
+        self.clock_hz = clock_hz
+
+    def report(
+        self,
+        events: dict,
+        cycles: int,
+        powered_components=VWR2A_COMPONENTS,
+        cpu_active_cycles: int = 0,
+        cpu_sleep_cycles: int = 0,
+    ) -> EnergyReport:
+        """Energy of a window of ``cycles`` with activity ``events``.
+
+        ``events`` is an event-count dict (e.g. ``EventCounters.diff``);
+        ``powered_components`` lists the components whose leakage is
+        charged for the whole window.
+        """
+        by_component = {}
+
+        def add(component: str, pj: float) -> None:
+            by_component[component] = by_component.get(component, 0.0) + pj
+
+        for name, count in events.items():
+            component = COMPONENT_OF_EVENT.get(name)
+            if component is None or name == Ev.CPU_CYCLE:
+                continue
+            add(component, count * self.table.event_energy(name))
+        for component in powered_components:
+            leak = self.table.leakage_pj_per_cycle.get(component, 0.0)
+            add(component, leak * cycles)
+        if cpu_active_cycles:
+            add("cpu", cpu_active_cycles * self.table.cpu_pj_per_cycle)
+        if cpu_sleep_cycles:
+            add("cpu", cpu_sleep_cycles * self.table.cpu_sleep_pj_per_cycle)
+        return EnergyReport(
+            by_component=by_component, cycles=cycles, clock_hz=self.clock_hz
+        )
+
+    def vwr2a_report(self, events: dict, cycles: int) -> EnergyReport:
+        """VWR2A-only view (the paper's Table 3 scope)."""
+        filtered = {
+            name: count for name, count in events.items()
+            if COMPONENT_OF_EVENT.get(name) in VWR2A_COMPONENTS
+        }
+        return self.report(
+            filtered, cycles, powered_components=VWR2A_COMPONENTS
+        )
+
+    def accel_report(self, events: dict, cycles: int) -> EnergyReport:
+        """FFT-accelerator-only view."""
+        filtered = {
+            name: count for name, count in events.items()
+            if COMPONENT_OF_EVENT.get(name) in ACCEL_COMPONENTS
+        }
+        return self.report(
+            filtered, cycles, powered_components=ACCEL_COMPONENTS
+        )
+
+    def cpu_energy_uj(self, cycles: int) -> float:
+        """Energy of a CPU-only phase."""
+        return cycles * self.table.cpu_pj_per_cycle * 1e-6

@@ -1,0 +1,57 @@
+"""Rendering of Table-3-style power breakdowns."""
+
+from __future__ import annotations
+
+from repro.energy.model import EnergyReport, VWR2A_COMPONENTS
+
+#: Display order/labels matching the paper's Table 3 rows.
+TABLE3_ROWS = (
+    ("dma", "DMA"),
+    ("memories", "Memories"),
+    ("control", "Control"),
+    ("datapath", "Datapath"),
+)
+
+
+def table3_breakdown(report: EnergyReport) -> dict:
+    """Per-component power (mW) and share, Table-3 style."""
+    total_mw = sum(
+        report.power_mw(component) for component in VWR2A_COMPONENTS
+    )
+    rows = {}
+    for component, label in TABLE3_ROWS:
+        power = report.power_mw(component)
+        share = power / total_mw if total_mw else 0.0
+        rows[label] = {"mw": power, "share": share}
+    rows["Total"] = {"mw": total_mw, "share": 1.0}
+    return rows
+
+
+def render_table3(
+    vwr2a_rows: dict, accel_rows: dict = None, title: str = ""
+) -> str:
+    """ASCII rendering of one or two power-breakdown columns."""
+    lines = []
+    if title:
+        lines.append(title)
+    if accel_rows is not None:
+        lines.append(
+            f"{'Instance':<12} {'ACCEL mW':>10} {'%':>5}   "
+            f"{'VWR2A mW':>10} {'%':>5}   {'ratio':>6}"
+        )
+        for label in [row[1] for row in TABLE3_ROWS] + ["Total"]:
+            accel = accel_rows[label]
+            ours = vwr2a_rows[label]
+            ratio = ours["mw"] / accel["mw"] if accel["mw"] else float("inf")
+            lines.append(
+                f"{label:<12} {accel['mw']:>10.4f} {accel['share']:>5.0%}   "
+                f"{ours['mw']:>10.4f} {ours['share']:>5.0%}   {ratio:>6.1f}"
+            )
+    else:
+        lines.append(f"{'Instance':<12} {'mW':>10} {'%':>6}")
+        for label in [row[1] for row in TABLE3_ROWS] + ["Total"]:
+            row = vwr2a_rows[label]
+            lines.append(
+                f"{label:<12} {row['mw']:>10.4f} {row['share']:>6.1%}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""The default calibrated energy table.
+
+Calibration runs the paper's Table 3 anchor workload — the 512-point
+real-valued FFT — once on our VWR2A simulator and once on the FFT
+accelerator model, and solves the per-event energies so the modelled
+per-component powers reproduce the published ones exactly (see
+``repro.energy.calibration``). The result is cached per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.energy.anchors import CLOCK_HZ
+from repro.energy.calibration import ActivityAnchor, calibrate
+from repro.energy.model import EnergyModel, EnergyTable
+
+ANCHOR_FFT_POINTS = 512
+
+
+def _vwr2a_anchor() -> ActivityAnchor:
+    from repro.app.signals import respiration_signal
+    from repro.kernels.rfft import RfftEngine
+    from repro.kernels.runner import KernelRunner
+
+    runner = KernelRunner()
+    engine = RfftEngine(runner, ANCHOR_FFT_POINTS)
+    engine.prepare()
+    samples = respiration_signal(ANCHOR_FFT_POINTS)
+    before = runner.events_snapshot()
+    result = engine.run(samples)
+    return ActivityAnchor(
+        events=runner.events_since(before),
+        cycles=result.run.total_cycles,
+    )
+
+
+def _accel_anchor() -> ActivityAnchor:
+    from repro.app.signals import respiration_signal
+    from repro.core.events import EventCounters
+    from repro.soc.fft_accel import FftAccelerator
+
+    events = EventCounters()
+    accel = FftAccelerator(events)
+    result = accel.real_fft(respiration_signal(ANCHOR_FFT_POINTS))
+    return ActivityAnchor(events=events.snapshot(), cycles=result.cycles)
+
+
+@lru_cache(maxsize=1)
+def default_table() -> EnergyTable:
+    """The Table-3-calibrated energy table (computed once per process)."""
+    return calibrate(_vwr2a_anchor(), _accel_anchor())
+
+
+def default_model(clock_hz: float = CLOCK_HZ) -> EnergyModel:
+    """An :class:`EnergyModel` over the default table."""
+    return EnergyModel(default_table(), clock_hz=clock_hz)

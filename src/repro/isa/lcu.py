@@ -1,0 +1,148 @@
+"""Loop-control-unit (LCU) instructions.
+
+The LCU "generates the branches and jumps for the program counter and
+notifies the synchronizer at the end of a kernel. It increases the code
+coverage by allowing the execution of loops with any nest depth and
+control-intensive code" (Sec. 3.3.3). It owns a small register file for
+loop counters; loop bounds may also come from the SRF ("loop parameters for
+the kernel execution control", Sec. 3.2).
+
+Branch semantics: a branch in bundle *t* selects the PC of bundle *t + 1*
+(no delay slot; the shared PC and the compact programs make single-cycle
+redirect realistic for a predecoded CGRA).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LCUOp(enum.IntEnum):
+    NOP = 0
+    SETI = 1    #: reg[rd] = imm
+    ADDI = 2    #: reg[rd] = reg[rd] + imm
+    LDSRF = 3   #: reg[rd] = SRF[src] (occupies the SRF port)
+    BLT = 4     #: if reg[rd] <  cmp: PC = target
+    BGE = 5     #: if reg[rd] >= cmp: PC = target
+    BEQ = 6     #: if reg[rd] == cmp: PC = target
+    BNE = 7     #: if reg[rd] != cmp: PC = target
+    JUMP = 8    #: PC = target
+    EXIT = 9    #: kernel done; notify the synchronizer
+
+
+class LCUCmp(enum.IntEnum):
+    """Source of a branch's comparison value."""
+
+    IMM = 0
+    REG = 1
+    SRF = 2
+
+
+BRANCH_OPS = frozenset({LCUOp.BLT, LCUOp.BGE, LCUOp.BEQ, LCUOp.BNE})
+
+
+@dataclass(frozen=True)
+class LCUInstr:
+    """One LCU configuration word.
+
+    ``rd`` names the LCU register written (SETI/ADDI/LDSRF) or compared
+    (branches). ``cmp_kind``/``cmp`` give the comparison operand; ``target``
+    is the absolute PC of the branch/jump destination (resolved from a label
+    by the program builder).
+    """
+
+    op: LCUOp = LCUOp.NOP
+    rd: int = 0
+    imm: int = 0
+    cmp_kind: LCUCmp = LCUCmp.IMM
+    cmp: int = 0
+    target: int = 0
+
+    @property
+    def is_nop(self) -> bool:
+        return self.op is LCUOp.NOP
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def uses_srf(self) -> bool:
+        if self.op is LCUOp.LDSRF:
+            return True
+        return self.is_branch and self.cmp_kind is LCUCmp.SRF
+
+    def __str__(self) -> str:
+        if self.op is LCUOp.NOP:
+            return "NOP"
+        if self.op is LCUOp.SETI:
+            return f"SETI R{self.rd} = {self.imm}"
+        if self.op is LCUOp.ADDI:
+            return f"ADDI R{self.rd} += {self.imm}"
+        if self.op is LCUOp.LDSRF:
+            return f"LDSRF R{self.rd} = SRF[{self.cmp}]"
+        if self.op is LCUOp.JUMP:
+            return f"JUMP -> {self.target}"
+        if self.op is LCUOp.EXIT:
+            return "EXIT"
+        cmp_txt = {
+            LCUCmp.IMM: str(self.cmp),
+            LCUCmp.REG: f"R{self.cmp}",
+            LCUCmp.SRF: f"SRF[{self.cmp}]",
+        }[self.cmp_kind]
+        return f"{self.op.name} R{self.rd}, {cmp_txt} -> {self.target}"
+
+
+LCU_NOP = LCUInstr()
+
+
+def seti(rd: int, value: int) -> LCUInstr:
+    """``reg[rd] = value``."""
+    return LCUInstr(op=LCUOp.SETI, rd=rd, imm=value)
+
+
+def addi(rd: int, value: int) -> LCUInstr:
+    """``reg[rd] += value``."""
+    return LCUInstr(op=LCUOp.ADDI, rd=rd, imm=value)
+
+
+def ldsrf(rd: int, entry: int) -> LCUInstr:
+    """``reg[rd] = SRF[entry]`` (occupies the SRF port)."""
+    return LCUInstr(op=LCUOp.LDSRF, rd=rd, cmp=entry)
+
+
+def _branch(op: LCUOp, rd: int, cmp, target) -> LCUInstr:
+    """Branch helper; ``cmp`` is an int immediate, ``("reg", i)`` or
+    ``("srf", i)``; ``target`` may be a label string resolved by the
+    program builder."""
+    if isinstance(cmp, tuple):
+        source, index = cmp
+        kind = {"reg": LCUCmp.REG, "srf": LCUCmp.SRF}[source]
+        return LCUInstr(op=op, rd=rd, cmp_kind=kind, cmp=index, target=target)
+    return LCUInstr(op=op, rd=rd, cmp_kind=LCUCmp.IMM, cmp=cmp, target=target)
+
+
+def blt(rd: int, cmp, target) -> LCUInstr:
+    return _branch(LCUOp.BLT, rd, cmp, target)
+
+
+def bge(rd: int, cmp, target) -> LCUInstr:
+    return _branch(LCUOp.BGE, rd, cmp, target)
+
+
+def beq(rd: int, cmp, target) -> LCUInstr:
+    return _branch(LCUOp.BEQ, rd, cmp, target)
+
+
+def bne(rd: int, cmp, target) -> LCUInstr:
+    return _branch(LCUOp.BNE, rd, cmp, target)
+
+
+def jump(target) -> LCUInstr:
+    return LCUInstr(op=LCUOp.JUMP, target=target)
+
+
+def exit_() -> LCUInstr:
+    """End-of-kernel: notify the synchronizer (Sec. 3.3.3)."""
+    return LCUInstr(op=LCUOp.EXIT)

@@ -1,0 +1,129 @@
+"""Load-store-unit (LSU) instructions.
+
+The LSU "controls the data transfers between the SPM and the VWRs or the
+SRF" and "also controls the shuffle unit" (Sec. 3.3.1). VWR transfers move
+a full SPM line (= one VWR) per cycle; SRF transfers move single words.
+Addresses come from SRF entries ("addresses for the SPM" are among the
+kernel-dependent scalars the SRF holds, Sec. 3.2) and support post-increment
+write-back, which counts as the LSU's single SRF transaction for the cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.fields import ShuffleMode, Vwr
+
+
+class LSUOp(enum.IntEnum):
+    NOP = 0
+    LD_VWR = 1    #: VWR <- SPM line at SRF[addr]; post-increment in lines
+    ST_VWR = 2    #: SPM line at SRF[addr] <- VWR
+    LD_SRF = 3    #: SRF[data] <- SPM word at SRF[addr]; post-inc in words
+    ST_SRF = 4    #: SPM word at SRF[addr] <- SRF[data]
+    SET_SRF = 5   #: SRF[data] <- immediate (configuration-word constant)
+    SHUF = 6      #: VWR C <- shuffle(VWR A : VWR B)
+
+
+@dataclass(frozen=True)
+class LSUInstr:
+    """One LSU configuration word.
+
+    Fields are interpreted per-op:
+
+    * ``LD_VWR`` / ``ST_VWR``: ``vwr`` is the target register, ``addr`` the
+      SRF entry holding the SPM *line* address, ``inc`` the post-increment
+      (in lines) written back to the SRF entry.
+    * ``LD_SRF`` / ``ST_SRF``: ``data`` is the SRF data entry, ``addr`` the
+      SRF entry holding the SPM *word* address, ``inc`` in words.
+    * ``SET_SRF``: ``data`` is the SRF entry, ``value`` the 32-bit constant.
+    * ``SHUF``: ``mode`` selects the hardcoded shuffle operation.
+    """
+
+    op: LSUOp = LSUOp.NOP
+    vwr: Vwr = Vwr.A
+    addr: int = 0
+    inc: int = 0
+    data: int = 0
+    value: int = 0
+    mode: ShuffleMode = ShuffleMode.INTERLEAVE_LO
+
+    @property
+    def is_nop(self) -> bool:
+        return self.op is LSUOp.NOP
+
+    @property
+    def uses_srf(self) -> bool:
+        """True when this instruction occupies the SRF port."""
+        return self.op in (
+            LSUOp.LD_VWR,
+            LSUOp.ST_VWR,
+            LSUOp.LD_SRF,
+            LSUOp.ST_SRF,
+            LSUOp.SET_SRF,
+        )
+
+    def vwrs_touched(self) -> tuple:
+        """VWRs this instruction accesses (for port-conflict checking)."""
+        if self.op in (LSUOp.LD_VWR, LSUOp.ST_VWR):
+            return (self.vwr,)
+        if self.op is LSUOp.SHUF:
+            return (Vwr.A, Vwr.B, Vwr.C)
+        return ()
+
+    def __str__(self) -> str:
+        if self.op is LSUOp.NOP:
+            return "NOP"
+        if self.op is LSUOp.LD_VWR:
+            return f"LD.VWR VWR{self.vwr.name} <- SPM[SRF[{self.addr}]]" + (
+                f", SRF[{self.addr}]+={self.inc}" if self.inc else ""
+            )
+        if self.op is LSUOp.ST_VWR:
+            return f"ST.VWR SPM[SRF[{self.addr}]] <- VWR{self.vwr.name}" + (
+                f", SRF[{self.addr}]+={self.inc}" if self.inc else ""
+            )
+        if self.op is LSUOp.LD_SRF:
+            return f"LD.SRF SRF[{self.data}] <- SPM[SRF[{self.addr}]]" + (
+                f", SRF[{self.addr}]+={self.inc}" if self.inc else ""
+            )
+        if self.op is LSUOp.ST_SRF:
+            return f"ST.SRF SPM[SRF[{self.addr}]] <- SRF[{self.data}]" + (
+                f", SRF[{self.addr}]+={self.inc}" if self.inc else ""
+            )
+        if self.op is LSUOp.SET_SRF:
+            return f"SET.SRF SRF[{self.data}] <- {self.value}"
+        return f"SHUF {self.mode.name}"
+
+
+LSU_NOP = LSUInstr()
+
+
+def ld_vwr(vwr: Vwr, addr: int, inc: int = 0) -> LSUInstr:
+    """Load a full VWR from the SPM line addressed by SRF[addr]."""
+    return LSUInstr(op=LSUOp.LD_VWR, vwr=vwr, addr=addr, inc=inc)
+
+
+def st_vwr(vwr: Vwr, addr: int, inc: int = 0) -> LSUInstr:
+    """Store a full VWR to the SPM line addressed by SRF[addr]."""
+    return LSUInstr(op=LSUOp.ST_VWR, vwr=vwr, addr=addr, inc=inc)
+
+
+def ld_srf(data: int, addr: int, inc: int = 0) -> LSUInstr:
+    """SRF[data] <- SPM word at SRF[addr] (word address)."""
+    return LSUInstr(op=LSUOp.LD_SRF, data=data, addr=addr, inc=inc)
+
+
+def st_srf(data: int, addr: int, inc: int = 0) -> LSUInstr:
+    """SPM word at SRF[addr] <- SRF[data]."""
+    return LSUInstr(op=LSUOp.ST_SRF, data=data, addr=addr, inc=inc)
+
+
+def set_srf(entry: int, value: int) -> LSUInstr:
+    """SRF[entry] <- 32-bit configuration constant."""
+    return LSUInstr(op=LSUOp.SET_SRF, data=entry, value=value)
+
+
+def shuf(mode: ShuffleMode) -> LSUInstr:
+    """VWR C <- shuffle(VWR A : VWR B)."""
+    return LSUInstr(op=LSUOp.SHUF, mode=mode)

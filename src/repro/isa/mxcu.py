@@ -1,0 +1,82 @@
+"""Multiplexer-control-unit (MXCU) instructions.
+
+The MXCU "controls the multiplexers that connect the VWRs outputs to the
+RCs. Each RC has access to 1/4 of the VWRs width. To limit the number of
+control bits, all the RCs access the same address of their slice. This
+address is also used to write the data back to any of the VWRs."
+(Sec. 3.3.2.) The SRF holds "masking values for the VWRs index computation"
+(Sec. 3.2), which we expose as AND / XOR masks on the index update; the XOR
+mask provides within-slice mirroring (used by the real-FFT recombination).
+
+Index semantics: the MXCU instruction of bundle *t* produces the word index
+used by the RC instructions of the *same* bundle (the configuration bits
+drive the mux network combinationally).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MXCUOp(enum.IntEnum):
+    NOP = 0      #: index unchanged
+    SETK = 1     #: k = imm
+    UPD = 2      #: k = ((k + inc) & and_mask) ^ xor_mask
+
+
+#: Sentinel for "mask comes from the instruction, not the SRF".
+NO_SRF = -1
+
+
+@dataclass(frozen=True)
+class MXCUInstr:
+    """One MXCU configuration word.
+
+    For ``UPD``, the AND mask comes from SRF entry ``srf_and`` when that
+    field is >= 0 (occupying the SRF port for the cycle), otherwise from the
+    ``and_mask`` immediate. The XOR mask is always immediate.
+    """
+
+    op: MXCUOp = MXCUOp.NOP
+    k: int = 0
+    inc: int = 0
+    and_mask: int = 0x1F
+    xor_mask: int = 0
+    srf_and: int = NO_SRF
+
+    @property
+    def is_nop(self) -> bool:
+        return self.op is MXCUOp.NOP
+
+    @property
+    def uses_srf(self) -> bool:
+        return self.op is MXCUOp.UPD and self.srf_and != NO_SRF
+
+    def __str__(self) -> str:
+        if self.op is MXCUOp.NOP:
+            return "NOP"
+        if self.op is MXCUOp.SETK:
+            return f"SETK k={self.k}"
+        mask = (
+            f"SRF[{self.srf_and}]" if self.srf_and != NO_SRF
+            else f"0x{self.and_mask:x}"
+        )
+        parts = [f"k=(k{self.inc:+d})&{mask}"]
+        if self.xor_mask:
+            parts.append(f"^0x{self.xor_mask:x}")
+        return "UPD " + "".join(parts)
+
+
+MXCU_NOP = MXCUInstr()
+
+
+def setk(k: int) -> MXCUInstr:
+    return MXCUInstr(op=MXCUOp.SETK, k=k)
+
+
+def inck(inc: int = 1, and_mask: int = 0x1F, xor_mask: int = 0) -> MXCUInstr:
+    """Convenience: ``k = ((k + inc) & and_mask) ^ xor_mask``."""
+    return MXCUInstr(
+        op=MXCUOp.UPD, inc=inc, and_mask=and_mask, xor_mask=xor_mask
+    )

@@ -1,0 +1,599 @@
+"""The complex FFT kernel (Sec. 3.4, Tables 2/3, Fig. 2).
+
+Algorithm
+---------
+Constant-geometry radix-2 decimation-in-time (Pease form): every stage
+executes the identical flow — the paper's central observation ("All the
+stages execute the same flow of operations; the only changes are the
+coefficients and the data ordering"). Stage ``t`` of ``n = log2(N)``:
+
+    a = x[2k]; b = x[2k+1]                       (k = 0 .. N/2-1)
+    y[k]       = a + W * b
+    y[k + N/2] = a - W * b,   W = W_N^((k >> (n-1-t)) << (n-1-t))
+
+The input is consumed in bit-reversed order — arranged for free by the
+word-granular DMA gather during stage-in — and the output leaves in
+natural order, so no output reordering pass is needed. The *words
+interleaving* / *pruning* shuffles are exactly the stage-to-stage data
+reordering: each batch de-interleaves its two input lines into the ``a``
+and ``b`` operand vectors with one ODD/EVEN-prune shuffle pair (the DIT
+dual of the DIF interleave the paper describes).
+
+Mapping
+-------
+One **batch kernel** covers 128 butterflies per column (one VWR), fully
+unrolled over the per-stage addresses: the host launches
+``stages x batches_per_column`` kernels, baking all line addresses into
+the SRF init of each launch (the CPU reprograms kernel parameters between
+launches, Sec. 4.2 — the "programming ... of the kernel parameters"
+overhead the paper mentions). Within a batch:
+
+* products and combines are Table-1 two-bundle elementwise loops;
+* the final butterflies are *fused* passes producing ``a + wb`` into VWR C
+  and ``a - wb`` in place into VWR B in a two-cycle body;
+* all scratch lines are walked by a single SRF address register whose
+  post-increment chain is baked into the instructions (no extra cycles).
+
+Twiddles are 16.15 constants (1.0 = 32768 is exactly representable in the
+32-bit datapath). Per-stage tables are materialized in the SPM: uploaded
+once at :meth:`FftEngine.prepare` when they fit alongside the data
+(N <= 512, the accelerator-ROM equivalent), or streamed per stage for
+N = 1024. N = 2048 splits into two 1024-point transforms plus a combine
+pass (the SPM cannot hold 2048-point ping-pong buffers and tables;
+DESIGN.md records this substitution).
+
+Data is q15-valued in 32-bit words; with 32-bit headroom no per-stage
+scaling is needed up to N = 2048 and the kernel is bit-exact against
+:func:`cg_fft_reference_int`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arch import ArchParams
+from repro.core.errors import ConfigurationError
+from repro.isa.fields import (
+    DST_VWR_B,
+    DST_VWR_C,
+    VWR_A,
+    VWR_B,
+    ShuffleMode,
+    Vwr,
+    imm,
+)
+from repro.isa.lsu import ld_vwr, shuf, st_vwr
+from repro.isa.mxcu import MXCU_NOP, inck
+from repro.isa.program import KernelConfig
+from repro.isa.rc import RCOp, rc
+from repro.kernels.macro import ColumnKernelBuilder
+from repro.kernels.runner import KernelRun, KernelRunner
+from repro.utils.bits import bit_reverse_indices, clog2, is_power_of_two
+from repro.utils.fixed_point import wrap32
+
+#: 16.15 twiddle scale: 1.0 == 1 << 15 (exactly representable in 32 bits).
+TWIDDLE_ONE = 1 << 15
+
+# SRF allocation of the batch kernel.
+SRF_XR = 0      #: input re pair-line address (two post-inc uses per batch)
+SRF_XI = 1      #: input im pair-line address
+SRF_W = 2       #: stage-table line address (wr/wi interleaved by line)
+SRF_YR_LO = 3
+SRF_YR_HI = 4
+SRF_YI_LO = 5
+SRF_YI_HI = 6
+SRF_SCRATCH = 7  #: scratch-line walker (post-increment chain)
+
+
+def master_twiddles(n: int):
+    """(re, im) 16.15 master table: W_N^k for k = 0 .. N/2-1."""
+    re, im = [], []
+    for k in range(n // 2):
+        angle = -2.0 * math.pi * k / n
+        re.append(int(round(math.cos(angle) * TWIDDLE_ONE)))
+        im.append(int(round(math.sin(angle) * TWIDDLE_ONE)))
+    return re, im
+
+
+def stage_exponents(n: int, t: int):
+    """Master-table indices of stage ``t``'s table."""
+    bits = clog2(n)
+    shift = bits - 1 - t
+    return [(k >> shift) << shift for k in range(n // 2)]
+
+
+def stage_table(n: int, t: int):
+    """Materialized (re, im) twiddle table of stage ``t``."""
+    mre, mim = master_twiddles(n)
+    idx = stage_exponents(n, t)
+    return [mre[i] for i in idx], [mim[i] for i in idx]
+
+
+def stage_table_lines(params: ArchParams, n: int, t: int):
+    """Stage table in the line-interleaved SPM layout [wr_l, wi_l, ...]."""
+    wr, wi = stage_table(n, t)
+    line_words = params.line_words
+    n_lines = -(-len(wr) // line_words)
+    words = []
+    for line in range(n_lines):
+        lo = line * line_words
+        hi = lo + line_words
+        chunk_r = wr[lo:hi] + [0] * (line_words - len(wr[lo:hi]))
+        chunk_i = wi[lo:hi] + [0] * (line_words - len(wi[lo:hi]))
+        words.extend(chunk_r)
+        words.extend(chunk_i)
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Golden model (bit-exact against the kernel's ALU semantics)
+# ---------------------------------------------------------------------------
+
+def _fxp(a: int, b: int) -> int:
+    return wrap32((a * b) >> 15)
+
+
+def cg_fft_reference_int(re, im):
+    """Exact integer CG-DIT FFT matching the kernel bit-for-bit."""
+    n = len(re)
+    if n != len(im) or not is_power_of_two(n):
+        raise ConfigurationError("need power-of-two complex input")
+    bits = clog2(n)
+    order = bit_reverse_indices(n)
+    xr = [int(re[i]) for i in order]
+    xi = [int(im[i]) for i in order]
+    for t in range(bits):
+        wr, wi = stage_table(n, t)
+        yr = [0] * n
+        yi = [0] * n
+        half = n // 2
+        for k in range(half):
+            ar, ai = xr[2 * k], xi[2 * k]
+            br, bi = xr[2 * k + 1], xi[2 * k + 1]
+            p1 = _fxp(br, wr[k])
+            p2 = _fxp(bi, wi[k])
+            p3 = _fxp(br, wi[k])
+            p4 = _fxp(bi, wr[k])
+            wbr = wrap32(p1 - p2)
+            wbi = wrap32(p3 + p4)
+            yr[k] = wrap32(ar + wbr)
+            yi[k] = wrap32(ai + wbi)
+            yr[k + half] = wrap32(ar - wbr)
+            yi[k + half] = wrap32(ai - wbi)
+        xr, xi = yr, yi
+    return xr, xi
+
+
+# ---------------------------------------------------------------------------
+# Batch kernel generator
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchAddresses:
+    """Baked line addresses of one column's batch in one stage.
+
+    Early stages (twiddle runs of >= one RC slice) carry their twiddles as
+    per-RC configuration-word immediates in ``imm_twiddles`` — a list of
+    ``(w_re, w_im)`` per RC — and leave ``w`` as None.
+    """
+
+    xr_pair: int     #: first of the two input re lines (2q, 2q+1)
+    xi_pair: int
+    yr_lo: int       #: output y[k] re line
+    yr_hi: int       #: output y[k + N/2] re line
+    yi_lo: int
+    yi_hi: int
+    scratch: int     #: first of six consecutive scratch lines
+    w: int = None    #: stage-table line (wr of batch q); wi follows it
+    imm_twiddles: tuple = None
+
+
+class _ScratchChain:
+    """Post-increment chain planner for the scratch address register.
+
+    Records the sequence of scratch-line touches; each LSU access carries
+    the increment that moves the register to the *next* touch, so the
+    whole batch runs without a single SET_SRF.
+    """
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        self.offsets = []
+
+    def touch(self, offset: int) -> int:
+        """Register a touch of scratch line ``offset``; returns its index."""
+        self.offsets.append(offset)
+        return len(self.offsets) - 1
+
+    def increments(self) -> list:
+        incs = []
+        for i, off in enumerate(self.offsets):
+            nxt = self.offsets[i + 1] if i + 1 < len(self.offsets) else off
+            incs.append(nxt - off)
+        return incs
+
+
+def _batch_column_program(params: ArchParams, addr: BatchAddresses):
+    """The straight-line batch body for one column."""
+    kb = ColumnKernelBuilder(params)
+    kb.srf(SRF_XR, addr.xr_pair)
+    kb.srf(SRF_XI, addr.xi_pair)
+    if addr.w is not None:
+        kb.srf(SRF_W, addr.w)
+    kb.srf(SRF_YR_LO, addr.yr_lo)
+    kb.srf(SRF_YR_HI, addr.yr_hi)
+    kb.srf(SRF_YI_LO, addr.yi_lo)
+    kb.srf(SRF_YI_HI, addr.yi_hi)
+
+    # Scratch plan: s0=ar s1=ai s2=br/p3 s3=bi/p2 s4=p1/wbr s5=p4/wbi.
+    chain = _ScratchChain(addr.scratch)
+    ops = []   # deferred (kind, payload, chain_index) emission plan
+
+    def scratch_op(kind: str, offset: int, **payload):
+        index = chain.touch(offset)
+        ops.append((kind, payload, index))
+
+    def plain_op(kind: str, **payload):
+        ops.append((kind, payload, None))
+
+    # -- de-interleave: x pairs -> a (evens) and b (odds) -------------------
+    plain_op("ld", vwr=Vwr.A, entry=SRF_XR, inc=1)
+    plain_op("ld", vwr=Vwr.B, entry=SRF_XR, inc=1)
+    plain_op("shuf", mode=ShuffleMode.ODD_PRUNE)     # keeps even indices
+    scratch_op("st", 0, vwr=Vwr.C)                   # s0 = a_re
+    plain_op("shuf", mode=ShuffleMode.EVEN_PRUNE)    # keeps odd indices
+    scratch_op("st", 2, vwr=Vwr.C)                   # s2 = b_re
+    plain_op("ld", vwr=Vwr.A, entry=SRF_XI, inc=1)
+    plain_op("ld", vwr=Vwr.B, entry=SRF_XI, inc=1)
+    plain_op("shuf", mode=ShuffleMode.ODD_PRUNE)
+    scratch_op("st", 1, vwr=Vwr.C)                   # s1 = a_im
+    plain_op("shuf", mode=ShuffleMode.EVEN_PRUNE)
+    scratch_op("st", 3, vwr=Vwr.C)                   # s3 = b_im
+
+    # -- twiddle products -----------------------------------------------------
+    if addr.imm_twiddles is None:
+        # Vector twiddles: wr stays resident in VWR B for p1/p4.
+        scratch_op("ld", 2, vwr=Vwr.A)                   # A = br
+        plain_op("ld", vwr=Vwr.B, entry=SRF_W, inc=1)    # B = wr
+        plain_op("pass", op=RCOp.FXPMUL)                 # C = br*wr
+        scratch_op("st", 4, vwr=Vwr.C)                   # s4 = p1
+        scratch_op("ld", 3, vwr=Vwr.A)                   # A = bi
+        plain_op("pass", op=RCOp.FXPMUL)                 # C = bi*wr
+        scratch_op("st", 5, vwr=Vwr.C)                   # s5 = p4
+        scratch_op("ld", 2, vwr=Vwr.A)                   # A = br
+        plain_op("ld", vwr=Vwr.B, entry=SRF_W, inc=1)    # B = wi
+        plain_op("pass", op=RCOp.FXPMUL)                 # C = br*wi
+        scratch_op("st", 2, vwr=Vwr.C)                   # s2 = p3 (br dead)
+        scratch_op("ld", 3, vwr=Vwr.A)                   # A = bi
+        plain_op("pass", op=RCOp.FXPMUL)                 # C = bi*wi
+        scratch_op("st", 3, vwr=Vwr.C)                   # s3 = p2 (bi dead)
+    else:
+        # Immediate twiddles: one (w_re, w_im) per RC slice, baked into
+        # the configuration words — no table loads at all.
+        wr_imms = [imm(w[0]) for w in addr.imm_twiddles]
+        wi_imms = [imm(w[1]) for w in addr.imm_twiddles]
+        scratch_op("ld", 2, vwr=Vwr.A)                   # A = br
+        plain_op("ipass", imms=wr_imms)                  # C = br*wr
+        scratch_op("st", 4, vwr=Vwr.C)                   # s4 = p1
+        plain_op("ipass", imms=wi_imms)                  # C = br*wi
+        scratch_op("st", 2, vwr=Vwr.C)                   # s2 = p3 (br dead)
+        scratch_op("ld", 3, vwr=Vwr.A)                   # A = bi
+        plain_op("ipass", imms=wr_imms)                  # C = bi*wr
+        scratch_op("st", 5, vwr=Vwr.C)                   # s5 = p4
+        plain_op("ipass", imms=wi_imms)                  # C = bi*wi
+        scratch_op("st", 3, vwr=Vwr.C)                   # s3 = p2 (bi dead)
+
+    # -- combines: wbr = p1 - p2 ; wbi = p3 + p4 ----------------------------
+    scratch_op("ld", 4, vwr=Vwr.A)                   # A = p1
+    scratch_op("ld", 3, vwr=Vwr.B)                   # B = p2
+    plain_op("pass", op=RCOp.SSUB)
+    scratch_op("st", 4, vwr=Vwr.C)                   # s4 = wbr
+    scratch_op("ld", 2, vwr=Vwr.A)                   # A = p3
+    scratch_op("ld", 5, vwr=Vwr.B)                   # B = p4
+    plain_op("pass", op=RCOp.SADD)
+    scratch_op("st", 5, vwr=Vwr.C)                   # s5 = wbi
+
+    # -- fused butterflies: C = a + wb ; B <- a - wb (in place) -------------
+    scratch_op("ld", 0, vwr=Vwr.A)                   # A = ar
+    scratch_op("ld", 4, vwr=Vwr.B)                   # B = wbr
+    plain_op("fused")
+    plain_op("st", vwr=Vwr.C, entry=SRF_YR_LO, inc=1)
+    plain_op("st", vwr=Vwr.B, entry=SRF_YR_HI, inc=1)
+    scratch_op("ld", 1, vwr=Vwr.A)                   # A = ai
+    scratch_op("ld", 5, vwr=Vwr.B)                   # B = wbi
+    plain_op("fused")
+    plain_op("st", vwr=Vwr.C, entry=SRF_YI_LO, inc=1)
+    plain_op("st", vwr=Vwr.B, entry=SRF_YI_HI, inc=1)
+
+    # -- emit ----------------------------------------------------------------
+    incs = chain.increments()
+    kb.srf(SRF_SCRATCH, addr.scratch + chain.offsets[0])
+    for kind, payload, chain_index in ops:
+        inc = incs[chain_index] if chain_index is not None else None
+        if kind == "ld":
+            entry = payload.get("entry", SRF_SCRATCH)
+            kb.emit(lsu=ld_vwr(
+                payload["vwr"], entry,
+                inc=payload.get("inc", inc or 0),
+            ))
+        elif kind == "st":
+            entry = payload.get("entry", SRF_SCRATCH)
+            kb.emit(lsu=st_vwr(
+                payload["vwr"], entry,
+                inc=payload.get("inc", inc or 0),
+            ))
+        elif kind == "shuf":
+            kb.emit(lsu=shuf(payload["mode"]))
+        elif kind == "pass":
+            kb.vector_pass(rc(payload["op"], DST_VWR_C, VWR_A, VWR_B))
+        elif kind == "ipass":
+            kb.vector_pass([
+                rc(RCOp.FXPMUL, DST_VWR_C, VWR_A, imm_op)
+                for imm_op in payload["imms"]
+            ])
+        elif kind == "fused":
+            kb.multi_pass(
+                body=[
+                    (rc(RCOp.SADD, DST_VWR_C, VWR_A, VWR_B), inck(1)),
+                    (rc(RCOp.SSUB, DST_VWR_B, VWR_A, VWR_B), MXCU_NOP),
+                ],
+            )
+        else:
+            raise ConfigurationError(f"unknown op kind {kind!r}")
+    kb.exit()
+    return kb.build()
+
+
+def build_batch_kernel(
+    params: ArchParams, per_column: dict, name: str
+) -> KernelConfig:
+    """One launch: each listed column runs one batch with baked addresses."""
+    columns = {
+        col: _batch_column_program(params, addr)
+        for col, addr in per_column.items()
+    }
+    return KernelConfig(name=name, columns=columns)
+
+
+# ---------------------------------------------------------------------------
+# Plan + engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FftPlan:
+    """SPM layout and launch schedule of one FFT size."""
+
+    n: int
+    params: ArchParams
+    x_line: int = 0        #: ping buffer: xr | xi (data_lines each)
+    resident_tables: bool = True
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 2 * self.params.line_words:
+            raise ConfigurationError(
+                f"FFT size {self.n} unsupported (needs >= "
+                f"{2 * self.params.line_words} points)"
+            )
+        self.stages = clog2(self.n)
+        self.data_lines = self.n // self.params.line_words
+        self.batches = self.n // 2 // self.params.line_words
+        # Stages whose twiddle runs cover at least one RC slice carry their
+        # twiddles as per-RC immediates; only the remaining "vector" stages
+        # need materialized tables.
+        slice_bits = clog2(self.params.slice_words)
+        self.vector_stages = [
+            t for t in range(self.stages)
+            if (self.stages - 1 - t) < slice_bits
+        ]
+        # Layout: xr xi | yr yi | tables
+        self.xr_line = self.x_line
+        self.xi_line = self.xr_line + self.data_lines
+        self.yr_line = self.xi_line + self.data_lines
+        self.yi_line = self.yr_line + self.data_lines
+        self.table_line = self.yi_line + self.data_lines
+        self.table_lines_per_stage = 2 * max(self.batches, 1)
+        scratch_lines = 6 * self.params.n_columns
+        if self.resident_tables:
+            total = (
+                self.table_line
+                + len(self.vector_stages) * self.table_lines_per_stage
+                + scratch_lines
+            )
+        else:
+            total = self.table_line + self.table_lines_per_stage \
+                + scratch_lines
+        if total > self.params.spm_lines:
+            raise ConfigurationError(
+                f"FFT-{self.n} layout needs {total} SPM lines, have "
+                f"{self.params.spm_lines}; use resident_tables=False or "
+                f"the split-transform path"
+            )
+        self.scratch_line = total - scratch_lines
+
+    def scratch_line_of(self, col: int) -> int:
+        """Each column owns six private scratch lines."""
+        return self.scratch_line + 6 * col
+
+    def is_vector_stage(self, t: int) -> bool:
+        return t in self.vector_stages
+
+    def table_line_of_stage(self, t: int) -> int:
+        if not self.is_vector_stage(t):
+            raise ConfigurationError(
+                f"stage {t} uses immediate twiddles, not a table"
+            )
+        if self.resident_tables:
+            index = self.vector_stages.index(t)
+            return self.table_line + index * self.table_lines_per_stage
+        return self.table_line
+
+    def imm_twiddles_for(self, t: int, q: int) -> tuple:
+        """Per-RC (w_re, w_im) immediates of batch ``q`` in stage ``t``."""
+        mre, mim = master_twiddles(self.n)
+        shift = self.stages - 1 - t
+        slice_words = self.params.slice_words
+        imms = []
+        for rc_index in range(self.params.rcs_per_column):
+            k = q * self.params.line_words + rc_index * slice_words
+            index = (k >> shift) << shift
+            imms.append((mre[index], mim[index]))
+        return tuple(imms)
+
+    def buffers_for_stage(self, t: int):
+        """(src_re, src_im, dst_re, dst_im) line bases for stage ``t``."""
+        if t % 2 == 0:
+            return self.xr_line, self.xi_line, self.yr_line, self.yi_line
+        return self.yr_line, self.yi_line, self.xr_line, self.xi_line
+
+    @property
+    def result_lines(self):
+        """(re, im) line bases holding the final spectrum."""
+        if self.stages % 2 == 1:
+            return self.yr_line, self.yi_line
+        return self.xr_line, self.xi_line
+
+
+@dataclass
+class FftRun:
+    """Spectrum + cycle ledger of one staged FFT execution."""
+
+    re: list
+    im: list
+    run: KernelRun
+    prepare_cycles: int = 0
+
+
+class FftEngine:
+    """Orchestrates complex FFTs of one size on a runner."""
+
+    def __init__(self, runner: KernelRunner, n: int,
+                 resident_tables: bool = None) -> None:
+        self.runner = runner
+        self.params = runner.soc.params
+        if resident_tables is None:
+            # Vector-stage tables + double buffer fit together up to 512
+            # points with the default 32 KiB SPM; larger sizes stream the
+            # vector-stage tables from SRAM before each stage.
+            slice_bits = clog2(self.params.slice_words)
+            table_words = min(clog2(n), slice_bits) * n
+            scratch_words = 6 * runner.soc.params.n_columns \
+                * runner.soc.params.line_words
+            resident_tables = (
+                4 * n + table_words
+                <= runner.soc.params.spm_words - scratch_words
+            )
+        self.plan = FftPlan(
+            n=n, params=self.params, resident_tables=resident_tables
+        )
+        self.prepare_cycles = 0
+        self._prepared = False
+        self._table_sram = {}
+
+    # -- one-time setup (accelerator-ROM equivalent) -------------------------
+
+    def prepare(self) -> int:
+        """Upload twiddle tables (resident) or pre-stage them in SRAM."""
+        if self._prepared:
+            return self.prepare_cycles
+        plan = self.plan
+        cycles = 0
+        for t in plan.vector_stages:
+            words = stage_table_lines(self.params, plan.n, t)
+            if plan.resident_tables:
+                base = plan.table_line_of_stage(t) * self.params.line_words
+                cycles += self.runner.stage_in(words, base)
+            else:
+                sram_base = self.runner.sram_alloc(len(words))
+                self.runner.soc.sram.poke_words(sram_base, words)
+                self._table_sram[t] = (sram_base, len(words))
+        self.prepare_cycles = cycles
+        self._prepared = True
+        return cycles
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, re, im, collect: bool = True) -> FftRun:
+        """Execute one transform.
+
+        With ``collect=False`` the spectrum stays in the SPM (the paper's
+        application-level locality: "the FFT ... keeps the results inside
+        the SPM", Sec. 5.2.3) and ``FftRun.re/im`` are peeked for callers.
+        """
+        plan = self.plan
+        if len(re) != plan.n or len(im) != plan.n:
+            raise ConfigurationError(
+                f"expected {plan.n} complex points, got {len(re)}"
+            )
+        self.prepare()
+        params = self.params
+        order = bit_reverse_indices(plan.n)
+        run = KernelRun(name=f"cfft_{plan.n}")
+        run.dma_in_cycles += self.runner.stage_in(
+            [int(v) for v in re], plan.xr_line * params.line_words,
+            order=order,
+        )
+        run.dma_in_cycles += self.runner.stage_in(
+            [int(v) for v in im], plan.xi_line * params.line_words,
+            order=order,
+        )
+
+        n_cols = min(params.n_columns, max(plan.batches, 1))
+        for t in range(plan.stages):
+            vector = plan.is_vector_stage(t)
+            if vector and not plan.resident_tables:
+                sram_base, n_words = self._table_sram[t]
+                run.dma_in_cycles += self._stream_table(sram_base, n_words)
+            src_r, src_i, dst_r, dst_i = plan.buffers_for_stage(t)
+            w_base = plan.table_line_of_stage(t) if vector else None
+            # Each launch: one batch per column.
+            launches = -(-plan.batches // n_cols) if plan.batches else 1
+            for launch in range(max(launches, 1)):
+                per_column = {}
+                for col in range(n_cols):
+                    q = launch * n_cols + col
+                    if q >= max(plan.batches, 1):
+                        continue
+                    per_column[col] = BatchAddresses(
+                        xr_pair=src_r + 2 * q,
+                        xi_pair=src_i + 2 * q,
+                        w=(w_base + 2 * q) if vector else None,
+                        imm_twiddles=(
+                            None if vector else plan.imm_twiddles_for(t, q)
+                        ),
+                        yr_lo=dst_r + q,
+                        yr_hi=dst_r + plan.batches + q,
+                        yi_lo=dst_i + q,
+                        yi_hi=dst_i + plan.batches + q,
+                        scratch=plan.scratch_line_of(col),
+                    )
+                config = build_batch_kernel(
+                    params, per_column,
+                    name=f"cfft{plan.n}_s{t}_l{launch}",
+                )
+                result = self.runner.execute(config)
+                run.config_cycles += result.config_cycles
+                run.compute_cycles += result.cycles
+        res_r, res_i = plan.result_lines
+        if collect:
+            out_r, c1 = self.runner.stage_out(
+                res_r * params.line_words, plan.n
+            )
+            out_i, c2 = self.runner.stage_out(
+                res_i * params.line_words, plan.n
+            )
+            run.dma_out_cycles = c1 + c2
+        else:
+            spm = self.runner.soc.vwr2a.spm
+            out_r = spm.peek_words(res_r * params.line_words, plan.n)
+            out_i = spm.peek_words(res_i * params.line_words, plan.n)
+        return FftRun(re=out_r, im=out_i, run=run,
+                      prepare_cycles=self.prepare_cycles)
+
+    def _stream_table(self, sram_base: int, n_words: int) -> int:
+        cycles = self.runner.soc.dma_to_vwr2a(
+            sram_base,
+            self.plan.table_line * self.params.line_words,
+            n_words,
+        )
+        return cycles

@@ -1,0 +1,158 @@
+"""Kernel-mapping idioms shared by all VWR2A kernel generators.
+
+The central pattern is the paper's Table 1 loop: a two-bundle body where
+every bundle carries RC work, the LCU slot carries the counter update and
+the backward branch, and the MXCU slot advances the shared VWR word index —
+one processed element per RC per cycle, with zero loop overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.arch import ArchParams
+from repro.asm.builder import ProgramBuilder
+from repro.core.errors import ProgramError
+from repro.isa.lcu import LCU_NOP, addi, blt, seti
+from repro.isa.lsu import LSU_NOP, set_srf
+from repro.isa.mxcu import MXCU_NOP, inck, setk
+from repro.isa.rc import RCInstr
+
+
+class ColumnKernelBuilder:
+    """A :class:`ProgramBuilder` with VWR2A-specific loop idioms."""
+
+    _label_counter = itertools.count()
+
+    def __init__(self, params: ArchParams) -> None:
+        self.params = params
+        self.b = ProgramBuilder(n_rcs=params.rcs_per_column)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def fresh_label(self, hint: str = "L") -> str:
+        return f"{hint}_{next(self._label_counter)}"
+
+    def emit(self, **kwargs) -> int:
+        return self.b.emit(**kwargs)
+
+    def srf(self, entry: int, value: int) -> None:
+        self.b.srf(entry, value)
+
+    def set_addr(self, entry: int, value: int, **kwargs) -> int:
+        """Emit a bundle whose LSU slot programs an SRF address register."""
+        return self.b.emit(lsu=set_srf(entry, value), **kwargs)
+
+    def exit(self) -> int:
+        return self.b.exit()
+
+    def build(self):
+        return self.b.build()
+
+    def _rc_slots(self, rcs):
+        """Broadcast a single RCInstr to all cells, or pass a list through."""
+        if isinstance(rcs, RCInstr):
+            return [rcs] * self.params.rcs_per_column
+        return rcs
+
+    # -- the Table-1 loop idioms ------------------------------------------------
+
+    def vector_pass(
+        self,
+        rcs,
+        positions: int = None,
+        reg: int = 0,
+        setup_lsu=LSU_NOP,
+        setup_lcu=None,
+    ) -> None:
+        """Elementwise pass: one VWR word position per cycle.
+
+        Executes ``rcs`` (an :class:`RCInstr` or a per-cell list) at word
+        positions 0 .. positions-1 (default: the full slice). ``positions``
+        must be even so the two-bundle body divides it exactly. The setup
+        bundle's free LSU slot can carry a load/store via ``setup_lsu``.
+        """
+        slice_words = self.params.slice_words
+        if positions is None:
+            positions = slice_words
+        if positions % 2 != 0 or positions <= 0:
+            raise ProgramError(
+                f"vector_pass needs a positive even position count, "
+                f"got {positions}"
+            )
+        slots = self._rc_slots(rcs)
+        label = self.fresh_label("vp")
+        # k starts at slice_words-1 so the body's first increment wraps to 0.
+        self.b.emit(
+            lcu=setup_lcu if setup_lcu is not None else seti(reg, 0),
+            mxcu=setk(slice_words - 1),
+            lsu=setup_lsu,
+        )
+        self.b.label(label)
+        self.b.emit(rcs=slots, mxcu=inck(1), lcu=addi(reg, 1))
+        self.b.emit(rcs=slots, mxcu=inck(1), lcu=blt(reg, positions // 2, label))
+
+    def multi_pass(
+        self,
+        body,
+        positions: int = None,
+        reg: int = 0,
+        setup_lsu=LSU_NOP,
+    ) -> None:
+        """Pass with an m-bundle body per word position.
+
+        ``body`` is a list of ``(rcs, mxcu_instr)`` pairs executed in order
+        for each position; exactly one of the ``mxcu_instr`` entries should
+        advance the index (typically ``inck(1)`` on the first bundle). The
+        LCU counter/branch ride on the first/last body bundles.
+        """
+        slice_words = self.params.slice_words
+        if positions is None:
+            positions = slice_words
+        if positions <= 0:
+            raise ProgramError(f"need positive position count, got {positions}")
+        if len(body) < 2:
+            raise ProgramError("multi_pass needs a body of >= 2 bundles")
+        label = self.fresh_label("mp")
+        self.b.emit(
+            lcu=seti(reg, 0), mxcu=setk(slice_words - 1), lsu=setup_lsu
+        )
+        self.b.label(label)
+        for index, (rcs, mxcu_instr) in enumerate(body):
+            slots = self._rc_slots(rcs)
+            if index == 0:
+                lcu = addi(reg, 1)
+            elif index == len(body) - 1:
+                lcu = blt(reg, positions, label)
+            else:
+                lcu = LCU_NOP
+            self.b.emit(rcs=slots, mxcu=mxcu_instr, lcu=lcu)
+
+    def counted_loop(self, reg: int, count) -> "_CountedLoop":
+        """Context manager for an outer loop (batches, stages).
+
+        ``count`` is an int immediate or ``("srf", entry)`` for a bound held
+        in the SRF. Emits a counter-init bundle on entry and the
+        increment/branch bundle on exit; the body may freely use other
+        registers and SRF entries.
+        """
+        return _CountedLoop(self, reg, count)
+
+
+class _CountedLoop:
+    def __init__(self, kb: ColumnKernelBuilder, reg: int, count) -> None:
+        self.kb = kb
+        self.reg = reg
+        self.count = count
+        self.label = kb.fresh_label("loop")
+
+    def __enter__(self) -> "_CountedLoop":
+        self.kb.b.emit(lcu=seti(self.reg, 0))
+        self.kb.b.label(self.label)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.kb.b.emit(lcu=addi(self.reg, 1))
+            self.kb.b.emit(lcu=blt(self.reg, self.count, self.label))
+        return False

@@ -1,0 +1,484 @@
+"""The real-valued FFT kernel (Sec. 3.4, Table 2, Table 3 anchor).
+
+"An optimized version is used for real-valued FFTs ... The sequence of N
+real values is transformed into an N/2 complex sequence. Then, the complex
+FFT kernel presented above is used. This technique reduces the
+computations ... but requires some additional operations, also executed on
+VWR2A, to recover the correct output."
+
+Flow here:
+
+1. **Pack**: even samples -> re, odd samples -> im of an N/2 complex
+   sequence. Folded into the complex kernel's bit-reversed DMA gather —
+   zero extra cycles.
+2. **Complex N/2 FFT** (:class:`repro.kernels.fft.FftEngine`), result kept
+   in the SPM.
+3. **Mirror**: ``ZR[k] = Z[(N/2-k) mod N/2]`` materialized by an LSU
+   scalar copy loop (LD.SRF/ST.SRF with +/-1 post-increments), the real
+   and imaginary arrays split across the two columns. This is the
+   conservative, documented-mechanisms-only answer to the mirrored access
+   the recombination needs (DESIGN.md Sec. 5); it costs ~2 cycles/word and
+   is the main reason our real-FFT overhead exceeds the paper's.
+4. **Recombination** (two vector kernels per batch, sharing the FFT batch
+   kernel's scratch-chain idiom)::
+
+       G = (Z + conj(ZR))/2          H = (Z - conj(ZR))/(2i)
+       X[k] = G[k] + W_N^k * H[k]
+
+   with the ``W_N^k`` table resident in the SPM (uploaded at prepare).
+   The k = 0 lane yields X[0] = Zre[0] + Zim[0] automatically; the single
+   extra bin X[N/2] = Zre[0] - Zim[0] is patched by a scalar epilogue in
+   the mirror kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import ArchParams
+from repro.core.errors import ConfigurationError
+from repro.isa.fields import (
+    DST_R0,
+    DST_R1,
+    DST_VWR_C,
+    R0,
+    R1,
+    VWR_A,
+    VWR_B,
+    Vwr,
+    dst_srf,
+    imm,
+    srf,
+)
+from repro.isa.lcu import addi, blt, seti
+from repro.isa.lsu import ld_srf, ld_vwr, set_srf, st_srf, st_vwr
+from repro.isa.mxcu import MXCU_NOP, inck
+from repro.isa.program import KernelConfig
+from repro.isa.rc import RCOp, rc
+from repro.kernels.fft import (
+    TWIDDLE_ONE,
+    FftEngine,
+    _ScratchChain,
+    stage_table_lines,
+)
+from repro.kernels.macro import ColumnKernelBuilder
+from repro.kernels.runner import KernelRun, KernelRunner
+from repro.utils.bits import clog2, is_power_of_two
+from repro.utils.fixed_point import wrap32
+
+# SRF allocation of the recombination kernels.
+SRF_Z = 0        #: Z line address (re for phase 1 / by pass)
+SRF_ZR = 1
+SRF_Z2 = 2       #: Zim / second stream
+SRF_ZR2 = 3
+SRF_W = 4
+SRF_XRE = 5
+SRF_XIM = 6
+SRF_SCRATCH = 7
+
+
+def rfft_reference_int(samples):
+    """Bit-exact golden model of the VWR2A real-FFT flow."""
+    from repro.kernels.fft import cg_fft_reference_int
+
+    n = len(samples)
+    if not is_power_of_two(n):
+        raise ConfigurationError("need a power-of-two input")
+    half = n // 2
+    zre, zim = cg_fft_reference_int(
+        [int(samples[2 * i]) for i in range(half)],
+        [int(samples[2 * i + 1]) for i in range(half)],
+    )
+    import math
+
+    out_re = [0] * (half + 1)
+    out_im = [0] * (half + 1)
+    for k in range(half):
+        j = (half - k) % half
+        gre = wrap32(zre[k] + zre[j]) >> 1
+        gim = wrap32(zim[k] - zim[j]) >> 1
+        hre = wrap32(zim[k] + zim[j]) >> 1
+        him = wrap32(zre[j] - zre[k]) >> 1
+        angle = -2.0 * math.pi * k / n
+        wr = int(round(math.cos(angle) * TWIDDLE_ONE))
+        wi = int(round(math.sin(angle) * TWIDDLE_ONE))
+        p1 = wrap32((hre * wr) >> 15)
+        p2 = wrap32((him * wi) >> 15)
+        p3 = wrap32((hre * wi) >> 15)
+        p4 = wrap32((him * wr) >> 15)
+        out_re[k] = wrap32(gre + wrap32(p1 - p2))
+        out_im[k] = wrap32(gim + wrap32(p3 + p4))
+    out_re[half] = wrap32(zre[0] - zim[0])
+    out_im[half] = 0
+    return out_re, out_im
+
+
+# ---------------------------------------------------------------------------
+# Mirror kernel (scalar LSU copy, one array per column)
+# ---------------------------------------------------------------------------
+
+def _mirror_column_program(
+    params: ArchParams,
+    z_word: int,
+    zr_word: int,
+    half: int,
+    patch=None,
+):
+    """ZR[k] = Z[(half-k) mod half] for one array (re or im).
+
+    ``patch``: optionally (zre_word, zim_word, xnyq_word) — the column also
+    computes X[N/2] = Zre[0] - Zim[0] into the SPM word ``xnyq_word``.
+    """
+    kb = ColumnKernelBuilder(params)
+    kb.srf(0, z_word)           # ZR[0] = Z[0] source
+    kb.srf(1, zr_word)
+    kb.srf(2, z_word + half - 1)  # descending source for k = 1..half-1
+    # k = 0 wrap-around case.
+    kb.emit(lsu=ld_srf(3, 0))
+    kb.emit(lsu=st_srf(3, 1, inc=1))
+    # Main loop: 2 cycles per word.
+    label = kb.fresh_label("mir")
+    kb.emit(lcu=seti(0, 0))
+    kb.b.label(label)
+    kb.emit(lsu=ld_srf(3, 2, inc=-1), lcu=addi(0, 1))
+    kb.emit(lsu=st_srf(3, 1, inc=1), lcu=blt(0, half - 1, label))
+    if patch is not None:
+        zre_word, zim_word, xnyq_word = patch
+        kb.emit(lsu=set_srf(4, zre_word))
+        kb.emit(lsu=ld_srf(3, 4))              # SRF3 = Zre[0]
+        kb.emit(lsu=set_srf(4, zim_word))
+        kb.emit(lsu=ld_srf(5, 4))              # SRF5 = Zim[0]
+        kb.emit(rcs={0: rc(RCOp.MOV, DST_R0, srf(3))})
+        kb.emit(rcs={0: rc(RCOp.MOV, DST_R1, srf(5))})
+        kb.emit(rcs={0: rc(RCOp.SSUB, dst_srf(3), R0, R1)})
+        kb.emit(lsu=set_srf(4, xnyq_word))
+        kb.emit(lsu=st_srf(3, 4))
+    kb.exit()
+    return kb.build()
+
+
+# ---------------------------------------------------------------------------
+# Recombination kernels
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecombAddresses:
+    """Baked line addresses of one column's recombination batch."""
+
+    zre: int
+    zim: int
+    zrre: int
+    zrim: int
+    w: int          #: W_N table line (wr of batch q, wi follows)
+    xre: int
+    xim: int
+    scratch: int
+
+
+def _shifted_add(dst, sign: int):
+    """Fused (a +/- b) >> 1 two-bundle body."""
+    op = RCOp.SADD if sign > 0 else RCOp.SSUB
+    return [
+        (rc(op, DST_R0, VWR_A, VWR_B), inck(1)),
+        (rc(RCOp.SRA, dst, R0, imm(1)), MXCU_NOP),
+    ]
+
+
+def _gh_column_program(params: ArchParams, addr: RecombAddresses):
+    """Phase 1: G/H terms into scratch lines s0..s3."""
+    kb = ColumnKernelBuilder(params)
+    kb.srf(SRF_Z, addr.zre)
+    kb.srf(SRF_ZR, addr.zrre)
+    kb.srf(SRF_Z2, addr.zim)
+    kb.srf(SRF_ZR2, addr.zrim)
+    chain = _ScratchChain(addr.scratch)
+    plan = []
+
+    def scratch_st(offset: int):
+        plan.append(("st", chain.touch(offset)))
+
+    # Group 1: A = Zre, B = ZRre -> Gre (s0), Him (s3).
+    plan.append(("ld", Vwr.A, SRF_Z))
+    plan.append(("ld", Vwr.B, SRF_ZR))
+    plan.append(("gre",))
+    scratch_st(0)
+    plan.append(("him",))
+    scratch_st(3)
+    # Group 2: A = Zim, B = ZRim -> Gim (s1), Hre (s2).
+    plan.append(("ld", Vwr.A, SRF_Z2))
+    plan.append(("ld", Vwr.B, SRF_ZR2))
+    plan.append(("gim",))
+    scratch_st(1)
+    plan.append(("hre",))
+    scratch_st(2)
+
+    incs = chain.increments()
+    kb.srf(SRF_SCRATCH, addr.scratch + chain.offsets[0])
+    for step in plan:
+        if step[0] == "ld":
+            kb.emit(lsu=ld_vwr(step[1], step[2]))
+        elif step[0] == "st":
+            kb.emit(lsu=st_vwr(Vwr.C, SRF_SCRATCH, inc=incs[step[1]]))
+        elif step[0] == "gre":
+            kb.multi_pass(_shifted_add(DST_VWR_C, +1))
+        elif step[0] == "him":
+            # Him = (ZRre - Zre)/2 = (B - A)/2
+            kb.multi_pass([
+                (rc(RCOp.SSUB, DST_R0, VWR_B, VWR_A), inck(1)),
+                (rc(RCOp.SRA, DST_VWR_C, R0, imm(1)), MXCU_NOP),
+            ])
+        elif step[0] == "gim":
+            kb.multi_pass(_shifted_add(DST_VWR_C, -1))
+        elif step[0] == "hre":
+            kb.multi_pass(_shifted_add(DST_VWR_C, +1))
+    kb.exit()
+    return kb.build()
+
+
+def _xw_column_program(params: ArchParams, addr: RecombAddresses):
+    """Phase 2: X = G + W*H from the scratch lines of phase 1."""
+    kb = ColumnKernelBuilder(params)
+    kb.srf(SRF_W, addr.w)
+    kb.srf(SRF_XRE, addr.xre)
+    kb.srf(SRF_XIM, addr.xim)
+    chain = _ScratchChain(addr.scratch)
+    ops = []
+
+    def s_ld(offset: int, vwr: Vwr):
+        ops.append(("sld", chain.touch(offset), vwr))
+
+    def s_st(offset: int):
+        ops.append(("sst", chain.touch(offset)))
+
+    # Products (W resident in VWR B per half).
+    s_ld(2, Vwr.A)                        # A = Hre
+    ops.append(("ldw",))                  # B = Wre
+    ops.append(("mul",))
+    s_st(4)                               # s4 = P1 = Hre*Wre
+    s_ld(3, Vwr.A)                        # A = Him
+    ops.append(("mul",))
+    s_st(5)                               # s5 = P4 = Him*Wre
+    s_ld(2, Vwr.A)                        # A = Hre
+    ops.append(("ldw",))                  # B = Wim
+    ops.append(("mul",))
+    s_st(2)                               # s2 = P3 = Hre*Wim (Hre dead)
+    s_ld(3, Vwr.A)                        # A = Him
+    ops.append(("mul",))
+    s_st(3)                               # s3 = P2 = Him*Wim (Him dead)
+    # Tre = P1 - P2 ; Tim = P3 + P4.
+    s_ld(4, Vwr.A)
+    s_ld(3, Vwr.B)
+    ops.append(("sub",))
+    s_st(4)
+    s_ld(2, Vwr.A)
+    s_ld(5, Vwr.B)
+    ops.append(("add",))
+    s_st(5)
+    # X = G + T.
+    s_ld(0, Vwr.A)
+    s_ld(4, Vwr.B)
+    ops.append(("add",))
+    ops.append(("stx", SRF_XRE))
+    s_ld(1, Vwr.A)
+    s_ld(5, Vwr.B)
+    ops.append(("add",))
+    ops.append(("stx", SRF_XIM))
+
+    incs = chain.increments()
+    kb.srf(SRF_SCRATCH, addr.scratch + chain.offsets[0])
+    for op in ops:
+        kind = op[0]
+        if kind == "sld":
+            kb.emit(lsu=ld_vwr(op[2], SRF_SCRATCH, inc=incs[op[1]]))
+        elif kind == "sst":
+            kb.emit(lsu=st_vwr(Vwr.C, SRF_SCRATCH, inc=incs[op[1]]))
+        elif kind == "ldw":
+            kb.emit(lsu=ld_vwr(Vwr.B, SRF_W, inc=1))
+        elif kind == "mul":
+            kb.vector_pass(rc(RCOp.FXPMUL, DST_VWR_C, VWR_A, VWR_B))
+        elif kind == "sub":
+            kb.vector_pass(rc(RCOp.SSUB, DST_VWR_C, VWR_A, VWR_B))
+        elif kind == "add":
+            kb.vector_pass(rc(RCOp.SADD, DST_VWR_C, VWR_A, VWR_B))
+        elif kind == "stx":
+            kb.emit(lsu=st_vwr(Vwr.C, op[1], inc=1))
+    kb.exit()
+    return kb.build()
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RfftRun:
+    re: list          #: N/2 + 1 spectrum bins
+    im: list
+    run: KernelRun
+    prepare_cycles: int = 0
+
+
+class RfftEngine:
+    """Real-input FFT on top of the complex engine."""
+
+    def __init__(self, runner: KernelRunner, n: int) -> None:
+        if not is_power_of_two(n) or n < 4 * runner.soc.params.line_words:
+            raise ConfigurationError(f"unsupported real-FFT size {n}")
+        self.runner = runner
+        self.params = runner.soc.params
+        self.n = n
+        self.half = n // 2
+        self.cfft = FftEngine(runner, self.half)
+        plan = self.cfft.plan
+        line_words = self.params.line_words
+        self.spec_lines = self.half // line_words  # Z array lines (each)
+        # X overwrites Z in place (phase 2 only reads the scratch G/H
+        # terms), so the free region only holds the W table, which streams
+        # from SRAM when it does not fit, plus one line for the Nyquist
+        # bins.
+        self.xre_line, self.xim_line = plan.result_lines
+        base = plan.scratch_line + 6 * self.params.n_columns
+        self.nyq_line = base
+        self.w_line = base + 1
+        w_lines = 2 * max(self.spec_lines, 1)
+        self.w_resident = self.w_line + w_lines <= self.params.spm_lines
+        if not self.w_resident:
+            w_lines = 2 * self.params.n_columns
+            if self.w_line + w_lines > self.params.spm_lines:
+                raise ConfigurationError(
+                    f"real-FFT-{n} layout exceeds the SPM"
+                )
+        self.w_lines = w_lines
+        self._w_sram = None
+        self.prepare_cycles = 0
+        self._prepared = False
+
+    def prepare(self) -> int:
+        if self._prepared:
+            return self.prepare_cycles
+        cycles = self.cfft.prepare()
+        # Recombination twiddle table: W_N^k, all distinct (the "last
+        # stage" table of an N-point transform).
+        words = stage_table_lines(self.params, self.n, clog2(self.n) - 1)
+        if self.w_resident:
+            cycles += self.runner.stage_in(
+                words, self.w_line * self.params.line_words
+            )
+        else:
+            sram_base = self.runner.sram_alloc(len(words))
+            self.runner.soc.sram.poke_words(sram_base, words)
+            self._w_sram = sram_base
+        self.prepare_cycles = cycles
+        self._prepared = True
+        return cycles
+
+    def run(self, samples, collect: bool = True) -> RfftRun:
+        if len(samples) != self.n:
+            raise ConfigurationError(
+                f"expected {self.n} samples, got {len(samples)}"
+            )
+        self.prepare()
+        params = self.params
+        line_words = params.line_words
+        half = self.half
+        evens = [int(samples[2 * i]) for i in range(half)]
+        odds = [int(samples[2 * i + 1]) for i in range(half)]
+        inner = self.cfft.run(evens, odds, collect=False)
+        run = inner.run
+        run.name = f"rfft_{self.n}"
+        plan = self.cfft.plan
+        zr_line, zi_line = plan.result_lines
+        # The other ping-pong buffer is dead after the FFT: mirror there.
+        mr_line, mi_line = (
+            (plan.xr_line, plan.xi_line)
+            if (zr_line, zi_line) == (plan.yr_line, plan.yi_line)
+            else (plan.yr_line, plan.yi_line)
+        )
+        xnyq_word = self.nyq_line * line_words
+
+        mirror = KernelConfig(
+            name=f"rfft{self.n}_mirror",
+            columns={
+                0: _mirror_column_program(
+                    params,
+                    zr_line * line_words, mr_line * line_words, half,
+                    patch=(
+                        zr_line * line_words, zi_line * line_words,
+                        xnyq_word,
+                    ),
+                ),
+                1: _mirror_column_program(
+                    params,
+                    zi_line * line_words, mi_line * line_words, half,
+                ),
+            },
+        )
+        result = self.runner.execute(
+            mirror, max_cycles=10 * self.n + 1000
+        )
+        run.config_cycles += result.config_cycles
+        run.compute_cycles += result.cycles
+
+        n_cols = min(params.n_columns, max(self.spec_lines, 1))
+        launches = max(-(-self.spec_lines // n_cols), 1)
+        for launch in range(launches):
+            if not self.w_resident:
+                chunk = stage_table_lines(self.params, self.n, clog2(self.n) - 1)
+                lo = launch * n_cols * 2 * line_words
+                hi = min(lo + n_cols * 2 * line_words, len(chunk))
+                run.dma_in_cycles += self.runner.soc.dma_to_vwr2a(
+                    self._w_sram + lo,
+                    self.w_line * line_words,
+                    hi - lo,
+                )
+            per_col = {}
+            for col in range(n_cols):
+                q = launch * n_cols + col
+                if q >= max(self.spec_lines, 1):
+                    continue
+                if self.w_resident:
+                    w_line = self.w_line + 2 * q
+                else:
+                    w_line = self.w_line + 2 * col
+                per_col[col] = RecombAddresses(
+                    zre=zr_line + q,
+                    zim=zi_line + q,
+                    zrre=mr_line + q,
+                    zrim=mi_line + q,
+                    w=w_line,
+                    xre=self.xre_line + q,
+                    xim=self.xim_line + q,
+                    scratch=plan.scratch_line_of(col),
+                )
+            for phase, builder in (("gh", _gh_column_program),
+                                   ("xw", _xw_column_program)):
+                config = KernelConfig(
+                    name=f"rfft{self.n}_{phase}_l{launch}",
+                    columns={
+                        col: builder(params, addr)
+                        for col, addr in per_col.items()
+                    },
+                )
+                result = self.runner.execute(config)
+                run.config_cycles += result.config_cycles
+                run.compute_cycles += result.cycles
+
+        if collect:
+            nyq_rel = (self.nyq_line - self.xre_line) * line_words
+            out_re, c1 = self.runner.stage_out(
+                self.xre_line * line_words, half + 1,
+                order=list(range(half)) + [nyq_rel],
+            )
+            out_im, c2 = self.runner.stage_out(
+                self.xim_line * line_words, half
+            )
+            out_im = list(out_im) + [0]
+            run.dma_out_cycles += c1 + c2
+        else:
+            spm = self.runner.soc.vwr2a.spm
+            out_re = spm.peek_words(self.xre_line * line_words, half)
+            out_re = list(out_re) + [spm.peek_words(xnyq_word, 1)[0]]
+            out_im = spm.peek_words(self.xim_line * line_words, half)
+            out_im = list(out_im) + [0]
+        return RfftRun(re=out_re, im=out_im, run=run,
+                       prepare_cycles=self.prepare_cycles + inner.prepare_cycles)

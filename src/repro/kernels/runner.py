@@ -1,0 +1,109 @@
+"""Kernel execution orchestration on the host SoC.
+
+Mirrors the software flow of Sec. 4.2: the CPU stages data from system
+SRAM into the SPM through VWR2A's DMA (word-granular, so permutations like
+the FFT's bit-reversal or the FIR's overlapped layout are free to
+*arrange*), launches kernels over the slave port, sleeps until the
+completion interrupt, and stages results back. The runner keeps a cycle
+ledger per phase and event snapshots so benchmarks can report energy per
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.soc.platform import BiosignalSoC
+
+
+@dataclass
+class KernelRun:
+    """Cycle ledger of one staged kernel execution."""
+
+    name: str
+    dma_in_cycles: int = 0
+    config_cycles: int = 0
+    compute_cycles: int = 0
+    dma_out_cycles: int = 0
+    events: dict = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.dma_in_cycles + self.config_cycles
+            + self.compute_cycles + self.dma_out_cycles
+        )
+
+
+class KernelRunner:
+    """Stages data, launches kernels, and keeps the books."""
+
+    def __init__(self, soc: BiosignalSoC = None) -> None:
+        self.soc = soc if soc is not None else BiosignalSoC()
+        self.soc.with_accelerators()
+        self._sram_next = 0
+
+    # -- SRAM staging ----------------------------------------------------------
+
+    def sram_alloc(self, n_words: int) -> int:
+        """Reserve a block of system SRAM; returns its word address."""
+        base = self._sram_next
+        if base + n_words > self.soc.sram.n_words:
+            raise ConfigurationError(
+                f"SRAM overflow: need {n_words} words at {base}"
+            )
+        self._sram_next = base + n_words
+        return base
+
+    def stage_in(self, values, spm_word: int, order=None) -> int:
+        """Host data -> SRAM -> SPM (optionally permuted/gathered).
+
+        ``order`` maps SPM offset -> source index within ``values``;
+        the DMA gather implements it at no extra cost per word.
+        Returns DMA cycles.
+        """
+        base = self.sram_alloc(len(values))
+        self.soc.sram.poke_words(base, list(values))
+        if order is None:
+            return self.soc.dma_to_vwr2a(base, spm_word, len(values))
+        src_words = [base + index for index in order]
+        cycles = self.soc.vwr2a.dma.to_spm_gather(
+            self.soc.sram, src_words, spm_word
+        )
+        self.soc.cpu.sleep(cycles)
+        self.soc.power.advance(cycles)
+        return cycles
+
+    def stage_out(self, spm_word: int, n_words: int, order=None):
+        """SPM -> SRAM (optionally gathered); returns (values, cycles)."""
+        base = self.sram_alloc(n_words)
+        if order is None:
+            cycles = self.soc.dma_from_vwr2a(spm_word, base, n_words)
+        else:
+            src_words = [spm_word + index for index in order]
+            cycles = self.soc.vwr2a.dma.from_spm_gather(
+                self.soc.sram, src_words, base
+            )
+            self.soc.cpu.sleep(cycles)
+            self.soc.power.advance(cycles)
+        return self.soc.sram.peek_words(base, n_words), cycles
+
+    # -- kernel launch -----------------------------------------------------------
+
+    def store(self, config) -> None:
+        self.soc.vwr2a.store_kernel(config)
+
+    def launch(self, name: str, max_cycles: int = None):
+        """Run a stored kernel; returns the simulator's RunResult."""
+        return self.soc.run_vwr2a_kernel(name, max_cycles=max_cycles)
+
+    def execute(self, config, max_cycles: int = None):
+        self.store(config)
+        return self.launch(config.name, max_cycles=max_cycles)
+
+    def events_snapshot(self) -> dict:
+        return self.soc.events.snapshot()
+
+    def events_since(self, snapshot: dict) -> dict:
+        return self.soc.events.diff(snapshot)

@@ -1,0 +1,21 @@
+"""The host SoC substrate: bus, SRAM, CPU model, FFT accelerator, platform."""
+
+from repro.soc.bus import AhbBus
+from repro.soc.cpu import CortexM4Model
+from repro.soc.fft_accel import AccelResult, FftAccelerator
+from repro.soc.irq import InterruptController
+from repro.soc.platform import BiosignalSoC
+from repro.soc.power_domains import Domain, PowerManager
+from repro.soc.sram import BankedSram
+
+__all__ = [
+    "AhbBus",
+    "CortexM4Model",
+    "AccelResult",
+    "FftAccelerator",
+    "InterruptController",
+    "BiosignalSoC",
+    "Domain",
+    "PowerManager",
+    "BankedSram",
+]

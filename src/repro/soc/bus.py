@@ -1,0 +1,47 @@
+"""AMBA-AHB-style system bus model (Sec. 4.1/4.2).
+
+"The SoC elements (e.g., accelerators, memories, processor) are connected
+through the AMBA-AHB bus interface." We model the property the paper cares
+about: "the performance of algorithms with many data accesses is dependent
+on the system bus latency and bandwidth" (Sec. 2). A transfer of N words
+costs one address/setup phase per burst plus one data beat per word::
+
+    cycles = ceil(N / burst_len) * setup_cycles + N
+
+Masters (the CPU, the SoC DMA, VWR2A's DMA) share this cost model; we do
+not arbitrate concurrent masters because the paper's flows are sequential
+(the CPU sleeps while accelerators work).
+"""
+
+from __future__ import annotations
+
+from repro.arch import DEFAULT_SOC_PARAMS, SocParams
+from repro.core.events import Ev, EventCounters
+
+
+class AhbBus:
+    """Burst-based bus cost model with event logging."""
+
+    def __init__(
+        self,
+        params: SocParams = DEFAULT_SOC_PARAMS,
+        events: EventCounters = None,
+    ) -> None:
+        self.params = params
+        self.events = events if events is not None else EventCounters()
+
+    def burst_cycles(self, n_words: int) -> int:
+        """Cycle cost of transferring ``n_words`` over the bus."""
+        if n_words < 0:
+            raise ValueError(f"negative transfer size {n_words}")
+        if n_words == 0:
+            return 0
+        burst_len = self.params.bus_burst_len
+        n_bursts = -(-n_words // burst_len)
+        self.events.add(Ev.BUS_BEAT, n_words)
+        self.events.add(Ev.BUS_SETUP, n_bursts)
+        return n_bursts * self.params.bus_setup_cycles + n_words
+
+    def single_cycles(self) -> int:
+        """Cycle cost of one single (non-burst) word access."""
+        return self.burst_cycles(1)

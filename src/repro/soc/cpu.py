@@ -1,0 +1,48 @@
+"""The host CPU: an ARM Cortex-M4F cycle-cost model.
+
+The paper uses the M4 only as a measured baseline: its kernels run the
+CMSIS-DSP q15 library and are characterized by total cycles and an average
+power of ~1.2 mW (derivable from Tables 4 and 5: e.g. FIR-256 takes
+24 747 cycles and 0.37 uJ -> 14.95 pJ/cycle at 80 MHz). We therefore model
+the CPU as: (a) bit-accurate functional execution of the baseline kernels
+(``repro.baselines``), and (b) an accumulator of cycles charged by each
+kernel's calibrated cost model. The cost constants live with the kernels;
+this class owns the accounting and the "CPU runs / sleeps" state the
+application model uses.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Ev, EventCounters
+
+
+class CortexM4Model:
+    """Cycle accountant for the host processor."""
+
+    def __init__(self, events: EventCounters = None) -> None:
+        self.events = events if events is not None else EventCounters()
+        self.active_cycles = 0
+        self.sleep_cycles = 0
+
+    def charge(self, cycles: int) -> int:
+        """Account for ``cycles`` of active CPU execution."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge {cycles}")
+        self.active_cycles += cycles
+        self.events.add(Ev.CPU_CYCLE, cycles)
+        return cycles
+
+    def sleep(self, cycles: int) -> int:
+        """Account for cycles spent in WFI while an accelerator works.
+
+        Sleeping costs no active-power cycles; the energy model charges
+        only leakage for this time.
+        """
+        if cycles < 0:
+            raise ValueError(f"negative sleep {cycles}")
+        self.sleep_cycles += cycles
+        return cycles
+
+    def reset(self) -> None:
+        self.active_cycles = 0
+        self.sleep_cycles = 0

@@ -1,0 +1,225 @@
+"""The fixed-function FFT accelerator of the host SoC (Sec. 4.1).
+
+"It computes FFTs and inverse FFTs up to 4096 points, with an optimized
+flow for real-valued inputs. The FFT weights are stored in internal ROMs,
+whereas a dual-port memory is used to store the data. To avoid overflow,
+this custom FFT accelerator uses an internal representation of 18 bits with
+dynamic scaling." The SoC implementation is "a mixed radix-2 and radix-4
+implementation" (Sec. 4.4.1).
+
+Functional model
+----------------
+Block-floating-point FFT on 18-bit integers: before each stage, the whole
+block is shifted right when its magnitude approaches the 18-bit limit and
+the scale exponent is incremented (classic dynamic scaling). Twiddles are
+q15 ROM values. The numeric result is radix-independent, so the functional
+pass uses radix-2 stages; the *cycle* model counts the mixed radix-2/4
+stage structure the RTL uses.
+
+Cycle model
+-----------
+::
+
+    cycles = SETUP + IO_WORD * io_words
+           + R4_BUTTERFLY * n_radix4_butterflies
+           + R2_BUTTERFLY * n_radix2_butterflies
+           + RECOMB * n_recombine          (real-valued flow only)
+
+The five constants are least-squares fitted to the six accelerator cycle
+counts of the paper's Table 2 (fit residuals < 6%, see EXPERIMENTS.md):
+R4 = 8.1, R2 = 4.8, IO_WORD = 1.5, SETUP = 200, RECOMB = 0.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import Ev, EventCounters
+from repro.utils.bits import clog2, is_power_of_two
+
+#: Internal datapath width (bits) and its signed limits.
+DATA_BITS = 18
+_DATA_MAX = (1 << (DATA_BITS - 1)) - 1
+_DATA_MIN = -(1 << (DATA_BITS - 1))
+#: Magnitude threshold that triggers a dynamic-scaling shift: growth of a
+#: radix-2 butterfly is bounded by 2x + twiddle rounding, so one headroom
+#: bit suffices.
+_SCALE_THRESHOLD = 1 << (DATA_BITS - 2)
+
+#: Cycle-model constants fitted to Table 2 (see module docstring).
+SETUP_CYCLES = 200
+R4_BUTTERFLY_CYCLES = 8.1
+R2_BUTTERFLY_CYCLES = 4.8
+IO_WORD_CYCLES = 1.5
+RECOMB_CYCLES = 0.4
+
+MAX_POINTS = 4096
+
+
+@dataclass(frozen=True)
+class AccelResult:
+    """Output of one accelerator run."""
+
+    re: list              #: spectrum real parts (18-bit mantissas)
+    im: list              #: spectrum imaginary parts
+    scale: int            #: block exponent: X = mantissa * 2**scale / 2**15
+    cycles: int           #: modelled execution + IO cycles
+
+    def spectrum(self) -> list:
+        """The complex spectrum as floats (undoing q15 + block scaling)."""
+        factor = float(2 ** self.scale) / (1 << 15)
+        return [
+            complex(r * factor, i * factor)
+            for r, i in zip(self.re, self.im)
+        ]
+
+
+def _stage_counts(n: int) -> tuple:
+    """(radix-4 butterflies, radix-2 butterflies) of the mixed RTL flow."""
+    m = clog2(n)
+    r4_stages, r2_stages = divmod(m, 2)
+    return r4_stages * (n // 4), r2_stages * (n // 2)
+
+
+def _twiddle_q15(k: int, n: int) -> tuple:
+    angle = -2.0 * math.pi * k / n
+    return (
+        int(round(math.cos(angle) * ((1 << 15) - 1))),
+        int(round(math.sin(angle) * ((1 << 15) - 1))),
+    )
+
+
+class FftAccelerator:
+    """Functional + cycle model of the SoC's FFT engine."""
+
+    def __init__(self, events: EventCounters = None) -> None:
+        self.events = events if events is not None else EventCounters()
+
+    # -- public entry points -------------------------------------------------
+
+    def complex_fft(self, re, im) -> AccelResult:
+        """N-point complex FFT; inputs are q15 integers."""
+        n = len(re)
+        self._check_size(n, len(im))
+        work_re = [int(v) for v in re]
+        work_im = [int(v) for v in im]
+        scale = self._fft_in_place(work_re, work_im)
+        bf4, bf2 = _stage_counts(n)
+        io_words = 2 * n  # packed complex in + out over the bus
+        cycles = self._cycles(bf4, bf2, io_words, 0)
+        return AccelResult(re=work_re, im=work_im, scale=scale, cycles=cycles)
+
+    def real_fft(self, samples) -> AccelResult:
+        """N-point real-input FFT via the optimized N/2-complex flow.
+
+        Returns the N/2+1 non-redundant spectrum bins.
+        """
+        n = len(samples)
+        self._check_size(n, n)
+        half = n // 2
+        # Pack even/odd samples as a complex sequence.
+        work_re = [int(samples[2 * i]) for i in range(half)]
+        work_im = [int(samples[2 * i + 1]) for i in range(half)]
+        scale = self._fft_in_place(work_re, work_im)
+        out_re, out_im = self._real_recombine(work_re, work_im, n)
+        bf4, bf2 = _stage_counts(half)
+        io_words = n + (half + 1)
+        cycles = self._cycles(bf4, bf2, io_words, half)
+        return AccelResult(re=out_re, im=out_im, scale=scale, cycles=cycles)
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_size(self, n: int, other: int) -> None:
+        if n != other:
+            raise ConfigurationError("re/im length mismatch")
+        if not is_power_of_two(n) or not 4 <= n <= MAX_POINTS:
+            raise ConfigurationError(
+                f"the accelerator supports power-of-two sizes 4..4096, "
+                f"got {n}"
+            )
+
+    def _cycles(self, bf4: int, bf2: int, io_words: int, recomb: int) -> int:
+        cycles = int(round(
+            SETUP_CYCLES
+            + R4_BUTTERFLY_CYCLES * bf4
+            + R2_BUTTERFLY_CYCLES * bf2
+            + IO_WORD_CYCLES * io_words
+            + RECOMB_CYCLES * recomb
+        ))
+        self.events.add(Ev.FFT_ACCEL_BUTTERFLY, bf4 + bf2)
+        # Internal dual-port data-memory traffic: a butterfly reads and
+        # writes four complex operands (8 accesses), on top of the IO words
+        # streamed in/out over the bus.
+        self.events.add(Ev.FFT_ACCEL_MEM, io_words + 8 * (bf4 + bf2))
+        self.events.add(Ev.FFT_ACCEL_IO, io_words)
+        self.events.add(Ev.FFT_ACCEL_CYCLE, cycles)
+        return cycles
+
+    def _fft_in_place(self, re, im) -> int:
+        """Radix-2 DIT block-floating-point FFT; returns the exponent."""
+        n = len(re)
+        bits = clog2(n)
+        # Bit-reversed reorder.
+        for i in range(n):
+            j = int(bin(i)[2:].zfill(bits)[::-1], 2)
+            if j > i:
+                re[i], re[j] = re[j], re[i]
+                im[i], im[j] = im[j], im[i]
+        scale = 0
+        length = 2
+        while length <= n:
+            # Dynamic scaling: keep one headroom bit before the stage.
+            peak = max(
+                max(abs(v) for v in re), max(abs(v) for v in im)
+            )
+            if peak >= _SCALE_THRESHOLD:
+                for i in range(n):
+                    re[i] >>= 1
+                    im[i] >>= 1
+                scale += 1
+            half = length // 2
+            for start in range(0, n, length):
+                for k in range(half):
+                    w_re, w_im = _twiddle_q15(k, length)
+                    i = start + k
+                    j = i + half
+                    t_re = (re[j] * w_re - im[j] * w_im) >> 15
+                    t_im = (re[j] * w_im + im[j] * w_re) >> 15
+                    re[j] = self._clamp(re[i] - t_re)
+                    im[j] = self._clamp(im[i] - t_im)
+                    re[i] = self._clamp(re[i] + t_re)
+                    im[i] = self._clamp(im[i] + t_im)
+            length *= 2
+        return scale
+
+    def _real_recombine(self, z_re, z_im, n: int) -> tuple:
+        """Split the packed N/2 FFT into the N-point real spectrum."""
+        half = n // 2
+        out_re = [0] * (half + 1)
+        out_im = [0] * (half + 1)
+        out_re[0] = self._clamp(z_re[0] + z_im[0])
+        out_im[0] = 0
+        out_re[half] = self._clamp(z_re[0] - z_im[0])
+        out_im[half] = 0
+        for k in range(1, half):
+            j = half - k
+            f_re = (z_re[k] + z_re[j]) >> 1          # even part (real)
+            f_im = (z_im[k] - z_im[j]) >> 1
+            g_re = (z_im[k] + z_im[j]) >> 1          # odd part (x -i*conj)
+            g_im = (z_re[j] - z_re[k]) >> 1
+            w_re, w_im = _twiddle_q15(k, n)
+            t_re = (g_re * w_re - g_im * w_im) >> 15
+            t_im = (g_re * w_im + g_im * w_re) >> 15
+            out_re[k] = self._clamp(f_re + t_re)
+            out_im[k] = self._clamp(f_im + t_im)
+        return out_re, out_im
+
+    @staticmethod
+    def _clamp(value: int) -> int:
+        if value > _DATA_MAX:
+            return _DATA_MAX
+        if value < _DATA_MIN:
+            return _DATA_MIN
+        return value

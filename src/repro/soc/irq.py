@@ -1,0 +1,40 @@
+"""Interrupt lines of the SoC.
+
+"VWR2A informs the processor when a kernel execution, or a DMA transfer,
+is finished through an interrupt line." (Sec. 4.2.) The controller is a
+set of named lines with pending flags; the CPU model's wait-for-interrupt
+is what converts accelerator busy time into CPU sleep time.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+
+
+class InterruptController:
+    """Named interrupt lines with pending/acknowledge semantics."""
+
+    def __init__(self, lines=("vwr2a", "fft_accel", "dma")) -> None:
+        self._pending = {name: False for name in lines}
+
+    def raise_line(self, name: str) -> None:
+        self._check(name)
+        self._pending[name] = True
+
+    def pending(self, name: str) -> bool:
+        self._check(name)
+        return self._pending[name]
+
+    def acknowledge(self, name: str) -> None:
+        self._check(name)
+        self._pending[name] = False
+
+    def any_pending(self) -> bool:
+        return any(self._pending.values())
+
+    def _check(self, name: str) -> None:
+        if name not in self._pending:
+            raise ConfigurationError(
+                f"unknown interrupt line {name!r} "
+                f"(known: {sorted(self._pending)})"
+            )

@@ -1,0 +1,89 @@
+"""The SoC's banked SRAM (Sec. 4.1).
+
+"192 KiB of static random access memory (SRAM) (divided into six banks
+that can be individually power gated)". Word-granular storage with bank
+power gating: accessing a gated bank is an error (software must power it
+up first), and the energy model charges leakage only for powered banks.
+"""
+
+from __future__ import annotations
+
+from repro.arch import DEFAULT_SOC_PARAMS, SocParams
+from repro.core.errors import AddressError
+from repro.core.events import Ev, EventCounters
+from repro.utils.bits import to_signed32
+
+
+class BankedSram:
+    """Six-bank, power-gateable system SRAM."""
+
+    def __init__(
+        self,
+        params: SocParams = DEFAULT_SOC_PARAMS,
+        events: EventCounters = None,
+    ) -> None:
+        self.params = params
+        self.events = events if events is not None else EventCounters()
+        self.n_words = params.sram_bytes // params.bus_word_bytes
+        self.words_per_bank = self.n_words // params.sram_banks
+        self._data = [0] * self.n_words
+        self._bank_on = [True] * params.sram_banks
+
+    # -- power gating --------------------------------------------------------
+
+    def bank_of(self, addr: int) -> int:
+        self._check(addr)
+        return addr // self.words_per_bank
+
+    def set_bank_power(self, bank: int, powered: bool) -> None:
+        if not 0 <= bank < self.params.sram_banks:
+            raise AddressError(f"no SRAM bank {bank}")
+        self._bank_on[bank] = powered
+
+    def powered_banks(self) -> int:
+        return sum(self._bank_on)
+
+    # -- word access -----------------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        self._check_powered(addr)
+        self.events.add(Ev.SRAM_READ)
+        return self._data[addr]
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check_powered(addr)
+        self.events.add(Ev.SRAM_WRITE)
+        self._data[addr] = to_signed32(value)
+
+    # -- debug/test accessors (no events) ----------------------------------------
+
+    def peek_words(self, addr: int, count: int) -> list:
+        self._check(addr)
+        if addr + count > self.n_words:
+            raise AddressError(
+                f"peek of {count} words at {addr} exceeds SRAM"
+            )
+        return self._data[addr:addr + count]
+
+    def poke_words(self, addr: int, values) -> None:
+        self._check(addr)
+        if addr + len(values) > self.n_words:
+            raise AddressError(
+                f"poke of {len(values)} words at {addr} exceeds SRAM"
+            )
+        self._data[addr:addr + len(values)] = [to_signed32(v) for v in values]
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.n_words:
+            raise AddressError(
+                f"SRAM word address {addr} out of range [0, {self.n_words})"
+            )
+
+    def _check_powered(self, addr: int) -> None:
+        self._check(addr)
+        bank = addr // self.words_per_bank
+        if not self._bank_on[bank]:
+            raise AddressError(
+                f"SRAM bank {bank} is power-gated; address {addr} is "
+                f"inaccessible until the bank is powered up"
+            )

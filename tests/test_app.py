@@ -1,0 +1,101 @@
+"""Application-level integration tests (Table 5 pipeline)."""
+
+import pytest
+
+from repro.app import (
+    WINDOW,
+    high_workload_config,
+    low_workload_config,
+    respiration_signal,
+    run_application,
+)
+from repro.kernels.runner import KernelRunner
+
+
+@pytest.fixture(scope="module")
+def signal():
+    return respiration_signal(WINDOW)
+
+
+@pytest.fixture(scope="module")
+def results(signal):
+    return {
+        config: run_application(signal, config, KernelRunner())
+        for config in ("cpu", "cpu_fft_accel", "cpu_vwr2a")
+    }
+
+
+def test_signal_generator_properties():
+    sig = respiration_signal(1024)
+    assert len(sig) == 1024
+    assert all(-32768 <= v <= 32767 for v in sig)
+    assert max(sig) > 5000 and min(sig) < -5000
+    # Deterministic for a fixed seed.
+    assert sig == respiration_signal(1024)
+
+
+def test_workload_configs_differ():
+    fast = respiration_signal(WINDOW, high_workload_config())
+    slow = respiration_signal(WINDOW, low_workload_config())
+    assert fast != slow
+
+
+def test_all_configs_agree_on_label(results):
+    labels = {r.label for r in results.values()}
+    assert len(labels) == 1
+
+
+def test_features_approximately_agree(results):
+    cpu = results["cpu"].features
+    vwr2a = results["cpu_vwr2a"].features
+    assert len(cpu) == len(vwr2a) == 11
+    # Time features within a couple of samples; breath count exact.
+    for a, b in zip(cpu[:6], vwr2a[:6]):
+        assert abs(a - b) <= 4
+    assert cpu[10] == vwr2a[10]
+    # Band powers within 20% (different fixed-point paths).
+    for a, b in zip(cpu[6:9], vwr2a[6:9]):
+        assert b == pytest.approx(a, rel=0.2, abs=64)
+
+
+def test_cpu_cycles_match_paper_rows(results):
+    steps = results["cpu"].steps
+    assert steps["preprocessing"].cycles == pytest.approx(49760, rel=0.02)
+    assert steps["delineation"].cycles == pytest.approx(46268, rel=0.02)
+    assert steps["features"].cycles == pytest.approx(70639, rel=0.02)
+    assert results["cpu"].total_cycles == pytest.approx(166667, rel=0.02)
+
+
+def test_accelerator_only_helps_features(results):
+    cpu = results["cpu"]
+    accel = results["cpu_fft_accel"]
+    assert accel.steps["preprocessing"].cycles == \
+        cpu.steps["preprocessing"].cycles
+    assert accel.steps["delineation"].cycles == \
+        cpu.steps["delineation"].cycles
+    assert accel.steps["features"].cycles < cpu.steps["features"].cycles
+    savings = 1 - accel.total_cycles / cpu.total_cycles
+    assert 0.03 < savings < 0.25  # paper: 9.8%
+
+
+def test_vwr2a_transforms_the_application(results):
+    cpu = results["cpu"]
+    vwr2a = results["cpu_vwr2a"]
+    for step in ("preprocessing", "delineation", "features"):
+        assert vwr2a.steps[step].cycles < cpu.steps[step].cycles / 3
+    savings = 1 - vwr2a.total_cycles / cpu.total_cycles
+    assert savings > 0.78  # paper: 90.9%
+
+
+def test_vwr2a_cpu_mostly_sleeps(results):
+    vwr2a = results["cpu_vwr2a"]
+    total_active = sum(s.cpu_active for s in vwr2a.steps.values())
+    total = vwr2a.total_cycles
+    assert total_active < 0.45 * total
+
+
+def test_rejects_bad_inputs(signal):
+    with pytest.raises(Exception):
+        run_application(signal[:100], "cpu")
+    with pytest.raises(Exception):
+        run_application(signal, "gpu")

@@ -1,0 +1,113 @@
+"""Architecture parameters, SPM allocator, FIR layout, vector planning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import DEFAULT_PARAMS, ArchParams, SocParams
+from repro.core.errors import ConfigurationError
+from repro.kernels.layout import SpmAllocator
+from repro.kernels.fir import plan_fir
+from repro.kernels.vector import plan_split
+
+
+class TestArchParams:
+    def test_paper_configuration(self):
+        p = DEFAULT_PARAMS
+        assert p.n_columns == 2
+        assert p.rcs_per_column == 4
+        assert p.n_vwrs == 3
+        assert p.vwr_bits == 4096
+        assert p.slice_words == 32
+        assert p.spm_bytes == 32 * 1024
+        assert p.spm_lines == 64
+        assert p.line_words == p.vwr_words == 128
+        assert p.program_words == 64
+        assert p.srf_entries == 8
+        assert p.cycle_s == pytest.approx(12.5e-9)
+
+    def test_small_variant(self):
+        p = ArchParams(vwr_words=32, spm_bytes=4096)
+        assert p.slice_words == 8
+        assert p.spm_lines == 32
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ArchParams(vwr_words=100)       # not divisible by 4 slices... 100/4=25 not pow2
+        with pytest.raises(ValueError):
+            ArchParams(n_columns=0)
+        with pytest.raises(ValueError):
+            ArchParams(spm_bytes=1000)
+
+    def test_soc_params(self):
+        s = SocParams()
+        assert s.sram_bank_bytes == 32 * 1024
+        assert s.cycle_s == pytest.approx(12.5e-9)
+
+
+class TestSpmAllocator:
+    def test_line_rounding_and_addresses(self):
+        alloc = SpmAllocator(DEFAULT_PARAMS)
+        r1 = alloc.alloc("a", 1)          # rounds to one line
+        r2 = alloc.alloc("b", 129)        # rounds to two lines
+        assert r1.n_lines == 1 and r2.n_lines == 2
+        assert r2.line == 1
+        assert r2.word == 128
+        assert r2.line_at(1) == 2
+        assert alloc.used_lines == 3
+        assert alloc.get("a") is r1
+
+    def test_overflow_and_duplicates(self):
+        alloc = SpmAllocator(DEFAULT_PARAMS)
+        alloc.alloc_lines("big", 64)
+        with pytest.raises(ConfigurationError, match="overflow"):
+            alloc.alloc("more", 1)
+        alloc2 = SpmAllocator(DEFAULT_PARAMS)
+        alloc2.alloc("x", 1)
+        with pytest.raises(ConfigurationError, match="already"):
+            alloc2.alloc("x", 1)
+
+    def test_region_bounds(self):
+        alloc = SpmAllocator(DEFAULT_PARAMS)
+        r = alloc.alloc_lines("r", 2)
+        with pytest.raises(ConfigurationError):
+            r.line_at(2)
+
+
+class TestFirLayoutProperties:
+    @given(st.integers(16, 3000), st.integers(2, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_gather_orders_consistent(self, n, taps):
+        layout = plan_fir(DEFAULT_PARAMS, n, taps)
+        assert layout.outputs_per_slice % 2 == 0
+        assert layout.outputs_per_slice + layout.halo <= 32
+        # Every output has a unique sparse SPM position.
+        out = layout.gather_out_order(DEFAULT_PARAMS)
+        assert len(out) == n
+        assert len(set(out)) == n
+        # Every input-layout position maps inside the padded input.
+        order = layout.gather_in_order(DEFAULT_PARAMS)
+        assert len(order) == layout.n_lines * 128
+        assert min(order) >= 0
+
+    def test_too_many_taps(self):
+        with pytest.raises(ConfigurationError):
+            plan_fir(DEFAULT_PARAMS, 100, 40)
+
+
+class TestVectorPlan:
+    def test_split_even(self):
+        plan = plan_split(DEFAULT_PARAMS, 512)
+        assert plan.n_lines == 4
+        assert plan.lines_per_column == {0: (0, 2), 1: (2, 2)}
+
+    def test_split_odd_lines(self):
+        plan = plan_split(DEFAULT_PARAMS, 384)
+        assert plan.lines_per_column == {0: (0, 2), 1: (2, 1)}
+
+    def test_single_line_uses_one_column(self):
+        plan = plan_split(DEFAULT_PARAMS, 128)
+        assert plan.lines_per_column == {0: (0, 1)}
+
+    def test_rejects_partial_lines(self):
+        with pytest.raises(ConfigurationError):
+            plan_split(DEFAULT_PARAMS, 100)

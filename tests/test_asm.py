@@ -1,0 +1,130 @@
+"""Assembler tests: builder, textual parser, disassembler round-trips."""
+
+import pytest
+
+from repro.arch import DEFAULT_PARAMS
+from repro.asm import (
+    AsmError,
+    ProgramBuilder,
+    disassemble_listing,
+    disassemble_words,
+    listing,
+    parse_program,
+)
+from repro.core import Vwr2a
+from repro.core.errors import ProgramError
+from repro.isa import KernelConfig, LCUOp, LSUOp, MXCUOp, RCOp, ShuffleMode
+from repro.isa.encoding import encode_bundle
+from repro.isa.lcu import blt, exit_, seti
+from repro.isa.rc import rc
+from repro.isa.fields import DST_VWR_C, VWR_A, VWR_B
+
+
+class TestBuilder:
+    def test_labels_resolve(self):
+        b = ProgramBuilder()
+        b.label("start")
+        b.emit(lcu=seti(0, 0))
+        b.emit(lcu=blt(0, 10, "start"))
+        b.exit()
+        program = b.build()
+        assert program.bundles[1].lcu.target == 0
+
+    def test_undefined_label(self):
+        b = ProgramBuilder()
+        b.emit(lcu=blt(0, 1, "nowhere"))
+        b.exit()
+        with pytest.raises(ProgramError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ProgramError, match="twice"):
+            b.label("x")
+
+    def test_requires_exit(self):
+        b = ProgramBuilder()
+        b.emit()
+        with pytest.raises(ProgramError, match="EXIT"):
+            b.build()
+
+
+ASM_SOURCE = """
+; vector add with the Table-1 loop shape
+.srf 0 0
+.srf 1 1
+.srf 2 2
+    LCU SETI R0, 0 | LSU LD.VWR A, 0 | MXCU SETK 31
+    LSU LD.VWR B, 1
+loop:
+    LCU ADDI R0, 1 | MXCU UPD 1 | RC* SADD VWRC, VWRA, VWRB
+    LCU BLT R0, 16, loop | MXCU UPD 1 | RC* SADD VWRC, VWRA, VWRB
+    LSU ST.VWR C, 2
+    LCU EXIT
+"""
+
+
+class TestParser:
+    def test_parse_and_execute(self):
+        program = parse_program(ASM_SOURCE)
+        sim = Vwr2a()
+        sim.spm.poke_words(0, list(range(128)))
+        sim.spm.poke_words(128, [5] * 128)
+        result = sim.execute(KernelConfig(name="a", columns={0: program}))
+        assert sim.spm.peek_words(256, 128) == [v + 5 for v in range(128)]
+        assert result.cycles == 36
+
+    def test_parse_units(self):
+        program = parse_program(ASM_SOURCE)
+        b0 = program.bundles[0]
+        assert b0.lcu.op is LCUOp.SETI
+        assert b0.lsu.op is LSUOp.LD_VWR
+        assert b0.mxcu.op is MXCUOp.SETK
+        assert program.srf_init == {0: 0, 1: 1, 2: 2}
+
+    def test_parse_shuffle_and_immediates(self):
+        program = parse_program(
+            "    LSU SHUF BITREV_LO | RC2 FXPMUL R0, VWRA, #-1234\n"
+            "    LCU EXIT\n"
+        )
+        b0 = program.bundles[0]
+        assert b0.lsu.mode is ShuffleMode.BITREV_LO
+        assert b0.rcs[2].op is RCOp.FXPMUL
+        assert b0.rcs[2].b.index == -1234
+
+    @pytest.mark.parametrize("bad", [
+        "    LCU FROB R0, 1\n",
+        "    LSU LD.VWR Q, 0\n",
+        "    RC9 SADD R0, R0, R1\n",
+        "    MXCU WIBBLE\n",
+        "    RC0 SADD ??, R0, R1\n",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(AsmError):
+            parse_program(bad + "    LCU EXIT\n")
+
+
+class TestDisassembler:
+    def test_listing_contains_ops(self):
+        program = parse_program(ASM_SOURCE)
+        text = listing(program)
+        assert "SADD" in text and "LD.VWR" in text and "EXIT" in text
+        assert "SRF init" in text
+
+    def test_encode_decode_listing_roundtrip(self):
+        program = parse_program(ASM_SOURCE)
+        words = [encode_bundle(b) for b in program.bundles]
+        decoded = disassemble_words(words)
+        assert decoded == program.bundles
+        assert "SADD" in disassemble_listing(words)
+
+
+class TestConfigMemory:
+    def test_capacity_accounting(self):
+        sim = Vwr2a()
+        program = parse_program(ASM_SOURCE)
+        sim.store_kernel(KernelConfig(name="a", columns={0: program}))
+        assert "a" in sim.config_mem
+        assert sim.config_mem.total_bits() > 0
+        assert sim.config_mem.kernels() == ["a"]

@@ -1,0 +1,186 @@
+"""CPU baseline tests: q15 kernels vs numpy/scipy, cycle models vs paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    cfft_cycles,
+    cfft_q15,
+    delineate,
+    extract_features,
+    fir_cycles,
+    fir_q15,
+    lowpass_taps_q15,
+    mean_int,
+    median_int,
+    predict,
+    rfft_cycles,
+    rfft_q15,
+    rms_int,
+    default_workload_model,
+)
+from repro.baselines.dsp import _intervals, band_power
+
+q15_lists = st.lists(
+    st.integers(-20000, 20000), min_size=16, max_size=64
+)
+
+
+class TestFirQ15:
+    def test_impulse_response_recovers_taps(self):
+        taps = lowpass_taps_q15(11, 0.1)
+        x = [1 << 14] + [0] * 31
+        out = fir_q15(x, taps).samples
+        for i, tap in enumerate(taps):
+            assert out[i] == pytest.approx(tap // 2, abs=1)
+
+    def test_matches_numpy_convolution(self):
+        rng = np.random.default_rng(0)
+        taps = lowpass_taps_q15(11, 0.12)
+        x = (rng.uniform(-0.5, 0.5, 300) * 32768).astype(int).tolist()
+        got = np.array(fir_q15(x, taps).samples)
+        ref = np.convolve(x, taps, "full")[:300] / 32768
+        assert np.max(np.abs(got - ref)) <= 1.0
+
+    def test_block_state_continuity(self):
+        taps = lowpass_taps_q15(11, 0.1)
+        x = list(range(-50, 50))
+        whole = fir_q15(x, taps).samples
+        first = fir_q15(x[:50], taps)
+        second = fir_q15(x[50:], taps, state=x[40:50])
+        assert first.samples + second.samples == whole
+
+    def test_cycles_match_table4(self):
+        for n, paper in [(256, 24747), (512, 49253), (1024, 98283)]:
+            assert fir_cycles(n, 11) == pytest.approx(paper, rel=0.01)
+
+    @given(q15_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_output_in_q15_range(self, x):
+        taps = lowpass_taps_q15(11, 0.2)
+        for y in fir_q15(x, taps).samples:
+            assert -(1 << 15) <= y <= (1 << 15) - 1
+
+
+class TestFftQ15:
+    def test_cfft_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        n = 256
+        re = (rng.uniform(-0.4, 0.4, n) * 32768).astype(int).tolist()
+        im = (rng.uniform(-0.4, 0.4, n) * 32768).astype(int).tolist()
+        result = cfft_q15(re, im)
+        ref = np.fft.fft((np.array(re) + 1j * np.array(im)) / 32768)
+        got = np.array(result.spectrum())
+        assert np.max(np.abs(got - ref)) / np.max(np.abs(ref)) < 0.01
+
+    def test_rfft_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        x = (rng.uniform(-0.5, 0.5, 512) * 32768).astype(int).tolist()
+        result = rfft_q15(x)
+        ref = np.fft.rfft(np.array(x) / 32768)
+        got = np.array(result.spectrum())
+        assert np.max(np.abs(got - ref)) / np.max(np.abs(ref)) < 0.01
+        assert len(result.re) == 257
+
+    def test_cycles_match_table2_cpu(self):
+        for n, paper in [(512, 47926), (1024, 84753), (2048, 219667)]:
+            assert cfft_cycles(n) == pytest.approx(paper, rel=0.02)
+        for n, paper in [(512, 24927), (1024, 62326), (2048, 113489)]:
+            assert rfft_cycles(n) == pytest.approx(paper, rel=0.02)
+
+    def test_parseval_like_energy_preservation(self):
+        rng = np.random.default_rng(3)
+        x = (rng.uniform(-0.3, 0.3, 256) * 32768).astype(int).tolist()
+        result = cfft_q15(x, [0] * 256)
+        ref = np.fft.fft(np.array(x) / 32768)
+        got = np.array(result.spectrum())
+        assert np.sum(np.abs(got) ** 2) == pytest.approx(
+            np.sum(np.abs(ref) ** 2), rel=0.05
+        )
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            cfft_q15([0] * 3, [0] * 3)
+        with pytest.raises(ValueError):
+            rfft_q15([0] * 100)
+
+
+class TestDelineation:
+    def _sine(self, n=400, period=50, amp=8000):
+        t = np.arange(n)
+        return (amp * np.sin(2 * np.pi * t / period)).astype(int).tolist()
+
+    def test_finds_all_extrema_of_clean_sine(self):
+        sig = self._sine()
+        d = delineate(sig, 2000)
+        assert 6 <= len(d.maxima) <= 9
+        assert 6 <= len(d.minima) <= 9
+        # Extrema alternate.
+        merged = sorted(
+            [(p, "M") for p in d.maxima] + [(p, "m") for p in d.minima]
+        )
+        kinds = [k for _, k in merged]
+        assert all(a != b for a, b in zip(kinds, kinds[1:]))
+
+    def test_noise_below_threshold_ignored(self):
+        rng = np.random.default_rng(4)
+        flat = rng.integers(-100, 100, 500).tolist()
+        d = delineate(flat, 5000)
+        assert d.maxima == [] and d.minima == []
+
+    def test_intervals_positive(self):
+        d = delineate(self._sine(), 2000)
+        assert all(v > 0 for v in d.insp_times)
+        assert all(v > 0 for v in d.exp_times)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            delineate([1, 2, 3], 0)
+
+    @given(st.lists(st.integers(-30000, 30000), min_size=2, max_size=200),
+           st.integers(1, 10000))
+    @settings(max_examples=50, deadline=None)
+    def test_positions_strictly_increasing(self, sig, thr):
+        d = delineate(sig, thr)
+        for arr in (d.maxima, d.minima):
+            assert all(a < b for a, b in zip(arr, arr[1:]))
+
+
+class TestFeaturesAndSvm:
+    def test_stat_helpers(self):
+        assert mean_int([1, 2, 3, 4]) == 2
+        assert median_int([5, 1, 3]) == 3
+        assert median_int([4, 1, 3, 2]) == 2
+        assert rms_int([3, 4]) == 3       # isqrt(12.5) = 3
+        assert mean_int([]) == 0 and median_int([]) == 0 and rms_int([]) == 0
+
+    def test_band_power(self):
+        re = [0, 10, 20, 0]
+        im = [0, 0, 5, 0]
+        assert band_power(re, im, 1, 3) == 100 + 400 + 25
+        with pytest.raises(ValueError):
+            band_power(re, im, 2, 9)
+
+    def test_intervals_pairing(self):
+        assert _intervals([10, 50], [30, 70]) == [20, 20]
+        assert _intervals([10], []) == []
+        assert _intervals([10, 30], [20]) == [10]
+
+    def test_extract_features_shape(self):
+        fs = extract_features([30, 32], [40, 38], [0] * 257, [0] * 257)
+        assert len(fs.values) == 8
+        assert fs.cycles > 0
+
+    def test_svm_linear_decision(self):
+        model = default_workload_model()
+        n = len(model.weights[0])
+        high = predict(model, [0] * (n - 1) + [100])
+        low = predict(model, [100, 100, 100, 100, 100, 100] + [0] * (n - 6))
+        assert high.label == 1
+        assert low.label == -1
+
+    def test_svm_rejects_dim_mismatch(self):
+        model = default_workload_model()
+        with pytest.raises(ValueError):
+            predict(model, [1, 2, 3])

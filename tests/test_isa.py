@@ -1,0 +1,204 @@
+"""ISA tests: instruction constructors, bundles, binary encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import DEFAULT_PARAMS
+from repro.isa import (
+    Bundle,
+    ColumnProgram,
+    KernelConfig,
+    LCUCmp,
+    LCUInstr,
+    LCUOp,
+    LSUInstr,
+    LSUOp,
+    MXCUInstr,
+    MXCUOp,
+    NO_SRF,
+    Operand,
+    RCDstKind,
+    RCInstr,
+    RCOp,
+    RCSrcKind,
+    ShuffleMode,
+    Vwr,
+    decode_bundle,
+    decode_lcu,
+    decode_lsu,
+    decode_mxcu,
+    decode_rc,
+    encode_bundle,
+    encode_lcu,
+    encode_lsu,
+    encode_mxcu,
+    encode_rc,
+    make_bundle,
+)
+from repro.isa.fields import Dest, dst_srf, imm, srf
+from repro.isa.lcu import blt, exit_, jump, seti
+from repro.isa.lsu import ld_vwr, set_srf, shuf, st_vwr
+from repro.isa.rc import rc
+
+
+def test_operand_helpers():
+    assert srf(3).reads_srf and srf(3).index == 3
+    assert imm(-5).index == -5
+    assert Operand(RCSrcKind.VWR_A).vwr() is Vwr.A
+    assert dst_srf(2).writes_srf
+
+
+def test_rc_instr_operands():
+    i = rc(RCOp.SADD, dst_srf(1), srf(2), imm(3))
+    assert len(i.operands()) == 2
+    assert rc(RCOp.MOV, dst_srf(0), srf(1)).operands() == (srf(1),)
+    assert RCInstr().operands() == ()
+
+
+def test_lsu_vwrs_touched():
+    assert ld_vwr(Vwr.B, 0).vwrs_touched() == (Vwr.B,)
+    assert set(shuf(ShuffleMode.BITREV_LO).vwrs_touched()) == {
+        Vwr.A, Vwr.B, Vwr.C
+    }
+    assert LSUInstr().vwrs_touched() == ()
+
+
+def test_lsu_srf_usage():
+    assert ld_vwr(Vwr.A, 0).uses_srf
+    assert set_srf(1, 42).uses_srf
+    assert not shuf(ShuffleMode.EVEN_PRUNE).uses_srf
+
+
+def test_lcu_branch_flags():
+    assert blt(0, 5, 3).is_branch
+    assert not seti(0, 1).is_branch
+    assert blt(0, ("srf", 2), 0).uses_srf
+    assert not blt(0, ("reg", 1), 0).uses_srf
+
+
+def test_make_bundle_padding_and_overflow():
+    b = make_bundle(rcs=[rc(RCOp.SADD, dst_srf(0))])
+    assert len(b.rcs) == 4 and b.rcs[1].is_nop
+    with pytest.raises(ValueError):
+        make_bundle(rcs=[RCInstr()] * 5, n_rcs=4)
+
+
+def test_bundle_is_nop():
+    assert Bundle().is_nop
+    assert not make_bundle(lcu=exit_()).is_nop
+
+
+def test_program_validation():
+    p = ColumnProgram(bundles=[make_bundle(lcu=exit_())])
+    p.validate(DEFAULT_PARAMS)
+    too_long = ColumnProgram(
+        bundles=[Bundle()] * (DEFAULT_PARAMS.program_words + 1)
+    )
+    with pytest.raises(ValueError):
+        too_long.validate(DEFAULT_PARAMS)
+    bad_target = ColumnProgram(
+        bundles=[make_bundle(lcu=jump(9)), make_bundle(lcu=exit_())]
+    )
+    with pytest.raises(ValueError):
+        bad_target.validate(DEFAULT_PARAMS)
+
+
+def test_kernel_config_load_cycles():
+    p = ColumnProgram(
+        bundles=[make_bundle(lcu=exit_())], srf_init={0: 1, 1: 2}
+    )
+    cfg = KernelConfig(name="k", columns={0: p})
+    cfg.validate(DEFAULT_PARAMS)
+    assert cfg.load_cycles(DEFAULT_PARAMS) == 3
+
+
+# -- encoding round-trips -----------------------------------------------------
+
+rc_ops = st.sampled_from(list(RCOp))
+src_kinds = st.sampled_from(list(RCSrcKind))
+dst_kinds = st.sampled_from(list(RCDstKind))
+
+
+@st.composite
+def rc_instrs(draw):
+    def operand():
+        kind = draw(src_kinds)
+        if kind is RCSrcKind.SRF:
+            return Operand(kind, draw(st.integers(0, 7)))
+        if kind is RCSrcKind.IMM:
+            return Operand(kind, draw(st.integers(-(2**16), 2**16 - 1)))
+        return Operand(kind)
+
+    dkind = draw(dst_kinds)
+    dest = Dest(dkind, draw(st.integers(0, 7)) if dkind is RCDstKind.SRF
+                else 0)
+    return RCInstr(op=draw(rc_ops), dst=dest, a=operand(), b=operand())
+
+
+@given(rc_instrs())
+def test_rc_encode_roundtrip(instr):
+    assert decode_rc(encode_rc(instr)) == instr
+
+
+@st.composite
+def lsu_instrs(draw):
+    return LSUInstr(
+        op=draw(st.sampled_from(list(LSUOp))),
+        vwr=draw(st.sampled_from(list(Vwr))),
+        addr=draw(st.integers(0, 7)),
+        inc=draw(st.integers(-128, 127)),
+        data=draw(st.integers(0, 7)),
+        value=draw(st.integers(-(2**31), 2**31 - 1)),
+        mode=draw(st.sampled_from(list(ShuffleMode))),
+    )
+
+
+@given(lsu_instrs())
+def test_lsu_encode_roundtrip(instr):
+    assert decode_lsu(encode_lsu(instr)) == instr
+
+
+@st.composite
+def mxcu_instrs(draw):
+    return MXCUInstr(
+        op=draw(st.sampled_from(list(MXCUOp))),
+        k=draw(st.integers(0, 31)),
+        inc=draw(st.integers(-32, 31)),
+        and_mask=draw(st.integers(0, 31)),
+        xor_mask=draw(st.integers(0, 31)),
+        srf_and=draw(st.sampled_from([NO_SRF] + list(range(8)))),
+    )
+
+
+@given(mxcu_instrs())
+def test_mxcu_encode_roundtrip(instr):
+    assert decode_mxcu(encode_mxcu(instr)) == instr
+
+
+@st.composite
+def lcu_instrs(draw):
+    return LCUInstr(
+        op=draw(st.sampled_from(list(LCUOp))),
+        rd=draw(st.integers(0, 3)),
+        imm=draw(st.integers(-(2**16), 2**16 - 1)),
+        cmp_kind=draw(st.sampled_from(list(LCUCmp))),
+        cmp=draw(st.integers(-(2**16), 2**16 - 1)),
+        target=draw(st.integers(0, 63)),
+    )
+
+
+@given(lcu_instrs())
+def test_lcu_encode_roundtrip(instr):
+    assert decode_lcu(encode_lcu(instr)) == instr
+
+
+@given(lcu_instrs(), lsu_instrs(), mxcu_instrs(),
+       st.lists(rc_instrs(), min_size=4, max_size=4))
+def test_bundle_encode_roundtrip(lcu, lsu, mxcu, rcs):
+    bundle = Bundle(lcu=lcu, lsu=lsu, mxcu=mxcu, rcs=tuple(rcs))
+    assert decode_bundle(encode_bundle(bundle)) == bundle
+
+
+def test_encode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        encode_rc(rc(RCOp.SADD, dst_srf(0), imm(2**20)))

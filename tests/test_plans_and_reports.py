@@ -1,0 +1,129 @@
+"""FFT plan properties, kernel program budgets, and report rendering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import DEFAULT_PARAMS
+from repro.baselines import lowpass_taps_q15
+from repro.core.errors import ConfigurationError
+from repro.energy import default_model, render_table3, table3_breakdown
+from repro.kernels.delineation import build_delineation_kernel
+from repro.kernels.fft import (
+    FftPlan,
+    master_twiddles,
+    stage_exponents,
+    stage_table,
+    stage_table_lines,
+)
+from repro.kernels.fir import build_fir_kernel, plan_fir
+from repro.utils.bits import clog2
+
+
+class TestTwiddleMath:
+    @pytest.mark.parametrize("n", [16, 256, 1024])
+    def test_master_table_unit_circle(self, n):
+        re, im = master_twiddles(n)
+        assert re[0] == 1 << 15 and im[0] == 0
+        for r, i in zip(re, im):
+            assert abs(r * r + i * i - (1 << 30)) < (1 << 23)
+
+    def test_stage_exponents_run_structure(self):
+        n, bits = 64, 6
+        for t in range(bits):
+            exps = stage_exponents(n, t)
+            run = 1 << (bits - 1 - t)
+            for k in range(0, n // 2, run):
+                assert len(set(exps[k:k + run])) == 1
+
+    def test_stage_table_lines_interleaving(self):
+        words = stage_table_lines(DEFAULT_PARAMS, 512, 8)
+        wr, wi = stage_table(512, 8)
+        assert words[:128] == wr[:128]
+        assert words[128:256] == wi[:128]
+
+
+class TestFftPlan:
+    def test_512_resident_layout_fits(self):
+        plan = FftPlan(n=512, params=DEFAULT_PARAMS, resident_tables=True)
+        assert plan.batches == 2
+        end = plan.scratch_line_of(1) + 6
+        assert end <= DEFAULT_PARAMS.spm_lines
+        assert len(plan.vector_stages) == 5
+
+    def test_1024_requires_streaming(self):
+        with pytest.raises(ConfigurationError):
+            FftPlan(n=1024, params=DEFAULT_PARAMS, resident_tables=True)
+        plan = FftPlan(n=1024, params=DEFAULT_PARAMS, resident_tables=False)
+        assert plan.batches == 4
+
+    def test_ping_pong_buffers(self):
+        plan = FftPlan(n=512, params=DEFAULT_PARAMS)
+        s0 = plan.buffers_for_stage(0)
+        s1 = plan.buffers_for_stage(1)
+        assert s0[2] == s1[0]   # stage 1 reads what stage 0 wrote
+        # 9 stages -> result ends in the Y buffer.
+        assert plan.result_lines == (plan.yr_line, plan.yi_line)
+
+    def test_imm_twiddles_match_table(self):
+        plan = FftPlan(n=512, params=DEFAULT_PARAMS)
+        t = 0   # earliest stage: all twiddles are W^0
+        imms = plan.imm_twiddles_for(t, 0)
+        assert all(w == (1 << 15, 0) for w in imms)
+
+
+class TestProgramBudgets:
+    """Every generated program must fit the 64-entry program memory."""
+
+    def test_fir_program_size(self):
+        layout = plan_fir(DEFAULT_PARAMS, 512, 11)
+        cfg = build_fir_kernel(
+            DEFAULT_PARAMS, lowpass_taps_q15(11, 0.1), layout, 0, 10
+        )
+        for program in cfg.columns.values():
+            assert len(program) <= DEFAULT_PARAMS.program_words
+
+    def test_fft_batch_program_size(self):
+        from repro.kernels.fft import BatchAddresses, build_batch_kernel
+
+        addr = BatchAddresses(
+            xr_pair=0, xi_pair=4, w=16, yr_lo=8, yr_hi=9,
+            yi_lo=12, yi_hi=13, scratch=52,
+        )
+        cfg = build_batch_kernel(DEFAULT_PARAMS, {0: addr}, "b")
+        assert len(cfg.columns[0]) <= DEFAULT_PARAMS.program_words
+
+    def test_delineation_program_size(self):
+        cfg = build_delineation_kernel(
+            DEFAULT_PARAMS, 512, 2000, 0, 4096, 4610
+        )
+        assert len(cfg.columns[0]) <= DEFAULT_PARAMS.program_words
+
+    def test_delineation_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            build_delineation_kernel(DEFAULT_PARAMS, 512, 0, 0, 100, 200)
+
+
+class TestReportRendering:
+    def test_table3_render_single_and_dual(self):
+        model = default_model()
+        from repro.core.events import Ev
+
+        report = model.vwr2a_report({Ev.RC_ALU_MUL: 100}, 1000)
+        rows = table3_breakdown(report)
+        single = render_table3(rows, title="t")
+        assert "Datapath" in single and "Total" in single
+        dual = render_table3(rows, rows)
+        assert "ratio" in dual
+
+    def test_breakdown_shares_sum_to_one(self):
+        model = default_model()
+        from repro.core.events import Ev
+
+        report = model.vwr2a_report(
+            {Ev.RC_ALU_ADD: 500, Ev.SPM_WIDE_READ: 20}, 2000
+        )
+        rows = table3_breakdown(report)
+        total_share = sum(
+            row["share"] for label, row in rows.items() if label != "Total"
+        )
+        assert total_share == pytest.approx(1.0)

@@ -1,0 +1,146 @@
+"""Runner staging, macro idioms, synchronizer, and small-config variants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchParams, DEFAULT_PARAMS
+from repro.core import Vwr2a
+from repro.core.errors import ConfigurationError, ProgramError
+from repro.core.synchronizer import Synchronizer
+from repro.isa import KernelConfig, Vwr
+from repro.isa.fields import DST_VWR_C, VWR_A, imm
+from repro.isa.lsu import ld_vwr, st_vwr
+from repro.isa.rc import RCOp, rc
+from repro.kernels.macro import ColumnKernelBuilder
+from repro.kernels.runner import KernelRunner
+
+
+class TestRunnerStaging:
+    def test_sram_alloc_bump(self):
+        r = KernelRunner()
+        a = r.sram_alloc(100)
+        b = r.sram_alloc(50)
+        assert b == a + 100
+        with pytest.raises(ConfigurationError):
+            r.sram_alloc(10**9)
+
+    def test_stage_roundtrip_identity(self):
+        r = KernelRunner()
+        data = list(range(-100, 156))
+        c_in = r.stage_in(data, 0)
+        out, c_out = r.stage_out(0, len(data))
+        assert out == data
+        assert c_in > len(data) and c_out > len(data)
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1),
+                    min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_permuted_stage_in(self, data):
+        r = KernelRunner()
+        order = list(reversed(range(len(data))))
+        r.stage_in(data, 0, order=order)
+        got = r.soc.vwr2a.spm.peek_words(0, len(data))
+        assert got == list(reversed(data))
+
+    def test_event_windows(self):
+        r = KernelRunner()
+        snap = r.events_snapshot()
+        r.stage_in([1, 2, 3], 0)
+        diff = r.events_since(snap)
+        assert any("dma" in k for k in diff)
+
+
+class TestMacroIdioms:
+    def test_vector_pass_rejects_odd_positions(self):
+        kb = ColumnKernelBuilder(DEFAULT_PARAMS)
+        with pytest.raises(ProgramError):
+            kb.vector_pass(rc(RCOp.MOV, DST_VWR_C, VWR_A), positions=7)
+
+    def test_multi_pass_needs_body(self):
+        kb = ColumnKernelBuilder(DEFAULT_PARAMS)
+        with pytest.raises(ProgramError):
+            kb.multi_pass([(rc(RCOp.MOV, DST_VWR_C, VWR_A), None)])
+
+    def test_partial_positions(self):
+        """vector_pass over a sub-slice leaves the tail untouched."""
+        sim = Vwr2a()
+        sim.spm.poke_words(0, [7] * 128)
+        kb = ColumnKernelBuilder(DEFAULT_PARAMS)
+        kb.srf(0, 0)
+        kb.srf(1, 1)
+        kb.emit(lsu=ld_vwr(Vwr.A, 0))
+        kb.vector_pass(
+            rc(RCOp.SADD, DST_VWR_C, VWR_A, imm(1)), positions=8
+        )
+        kb.emit(lsu=st_vwr(Vwr.C, 1))
+        kb.exit()
+        sim.execute(KernelConfig(name="p", columns={0: kb.build()}))
+        out = sim.spm.peek_words(128, 128)
+        for s in range(4):
+            # Positions iterate k = 0..7 within each slice.
+            assert out[32 * s: 32 * s + 8] == [8] * 8
+
+    def test_counted_loop_bounds(self):
+        sim = Vwr2a()
+        kb = ColumnKernelBuilder(DEFAULT_PARAMS)
+        with kb.counted_loop(reg=1, count=5):
+            kb.emit()
+        kb.exit()
+        result = sim.execute(KernelConfig(name="c", columns={0: kb.build()}))
+        # init + 5 * (body + addi + blt) + exit
+        assert result.cycles == 1 + 5 * 3 + 1
+
+    def test_fresh_labels_unique(self):
+        kb = ColumnKernelBuilder(DEFAULT_PARAMS)
+        labels = {kb.fresh_label() for _ in range(100)}
+        assert len(labels) == 100
+
+
+class TestSmallConfigs:
+    """The simulator scales down: a 1-column, 32-word-VWR variant."""
+
+    PARAMS = ArchParams(
+        n_columns=1, vwr_words=32, spm_bytes=4096, srf_entries=8
+    )
+
+    def test_vector_kernel_on_small_array(self):
+        from repro.kernels.vector import elementwise_kernel
+
+        sim = Vwr2a(self.PARAMS)
+        sim.spm.poke_words(0, list(range(32)))
+        sim.spm.poke_words(32, [2] * 32)
+        cfg = elementwise_kernel(
+            self.PARAMS, RCOp.SMUL, 32, a_line=0, b_line=1, c_line=2
+        )
+        sim.execute(cfg)
+        assert sim.spm.peek_words(64, 32) == [2 * v for v in range(32)]
+
+    def test_slice_width(self):
+        assert self.PARAMS.slice_words == 8
+        assert self.PARAMS.spm_lines == 32
+
+
+class TestSynchronizer:
+    def test_completion_and_irq(self):
+        sync = Synchronizer()
+        fired = []
+        sync.on_irq(fired.append)
+        sync.kernel_started("k", [0, 1])
+        sync.kernel_finished("k", 123, [0, 1])
+        assert sync.irq_pending
+        assert fired[0].cycles == 123
+        assert sync.total_kernel_cycles == 123
+        sync.acknowledge()
+        assert not sync.irq_pending
+
+    def test_platform_irq_wiring(self):
+        from repro.asm.builder import ProgramBuilder
+
+        r = KernelRunner()
+        b = ProgramBuilder()
+        b.exit()
+        r.store(KernelConfig(name="noop", columns={0: b.build()}))
+        r.launch("noop")
+        # The platform acknowledged the IRQ after the CPU "woke up".
+        assert not r.soc.irq.pending("vwr2a")
+        assert r.soc.vwr2a.synchronizer.completions[0].name == "noop"

@@ -1,0 +1,118 @@
+"""Unit + property tests for the fixed-point and bit utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_reverse,
+    bit_reverse_indices,
+    clog2,
+    is_power_of_two,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.utils.fixed_point import (
+    FX_FRAC_BITS,
+    Q15_MAX,
+    Q15_MIN,
+    float_to_fx,
+    float_to_q15,
+    fx_mul,
+    fx_to_float,
+    q15_add_sat,
+    q15_mul,
+    sat32,
+    wrap32,
+)
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+q15s = st.integers(min_value=Q15_MIN, max_value=Q15_MAX)
+
+
+class TestBits:
+    def test_signed_unsigned_roundtrip_examples(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+        assert to_unsigned32(-1) == 0xFFFFFFFF
+        assert to_signed32(0x7FFFFFFF) == 2**31 - 1
+
+    @given(int32s)
+    def test_signed_unsigned_roundtrip(self, x):
+        assert to_signed32(to_unsigned32(x)) == x
+
+    def test_sign_extend(self):
+        assert sign_extend(0b1000, 4) == -8
+        assert sign_extend(0b0111, 4) == 7
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    def test_clog2(self):
+        assert clog2(1) == 0
+        assert clog2(2) == 1
+        assert clog2(1024) == 10
+        assert clog2(1025) == 11
+        with pytest.raises(ValueError):
+            clog2(0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_bit_reverse_examples(self):
+        assert bit_reverse(1, 3) == 4
+        assert bit_reverse(0b0011, 4) == 0b1100
+
+    @given(st.integers(1, 12), st.data())
+    def test_bit_reverse_involution(self, bits, data):
+        x = data.draw(st.integers(0, 2**bits - 1))
+        assert bit_reverse(bit_reverse(x, bits), bits) == x
+
+    @given(st.sampled_from([2, 4, 8, 64, 256]))
+    def test_bit_reverse_indices_permutation(self, n):
+        order = bit_reverse_indices(n)
+        assert sorted(order) == list(range(n))
+
+    def test_bit_reverse_indices_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            bit_reverse_indices(12)
+
+
+class TestFixedPoint:
+    @given(st.integers(-(2**40), 2**40))
+    def test_wrap32_range(self, x):
+        assert -(2**31) <= wrap32(x) <= 2**31 - 1
+
+    @given(int32s)
+    def test_wrap32_identity_in_range(self, x):
+        assert wrap32(x) == x
+
+    def test_sat32(self):
+        assert sat32(2**40) == 2**31 - 1
+        assert sat32(-(2**40)) == -(2**31)
+
+    def test_fx_mul_one(self):
+        one = 1 << FX_FRAC_BITS
+        assert fx_mul(one, one) == one
+        assert fx_mul(one, -one) == -one
+
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    def test_fx_mul_approximates_float(self, a, b):
+        fa, fb = float_to_fx(a), float_to_fx(b)
+        got = fx_to_float(fx_mul(fa, fb))
+        assert got == pytest.approx(a * b, abs=200 * 2**-15)
+
+    @given(q15s, q15s)
+    def test_q15_mul_bounds(self, a, b):
+        assert Q15_MIN <= q15_mul(a, b) <= Q15_MAX
+
+    def test_q15_mul_identity_ish(self):
+        assert q15_mul(Q15_MAX, Q15_MAX) == pytest.approx(Q15_MAX, abs=2)
+
+    @given(q15s, q15s)
+    def test_q15_add_sat_monotone(self, a, b):
+        assert Q15_MIN <= q15_add_sat(a, b) <= Q15_MAX
+
+    def test_float_to_q15_saturates(self):
+        assert float_to_q15(2.0) == Q15_MAX
+        assert float_to_q15(-2.0) == Q15_MIN
