@@ -1,0 +1,101 @@
+"""Simulator cycle-throughput benchmark: compiled engine vs reference.
+
+Runs the paper's largest transform (the split 2048-point complex FFT,
+Table 2) on both execution engines, measures wall time spent inside
+``Vwr2a.run`` (kernel execution only — staging and configuration encode
+are engine-independent), and writes ``BENCH_sim_speed.json`` at the repo
+root.
+
+Kept tier-1-bounded by design: one warm-up flow plus one measured flow
+per engine (~3 s total). The warm-up populates the compile-once caches —
+the compiled engine's steady state is precisely the compile-once /
+execute-many regime the engine exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.kernels import KernelRunner, SplitFftEngine
+from repro.soc.platform import BiosignalSoC
+
+#: Acceptance floor: the compiled engine must simulate cycles at least
+#: this many times faster than the reference interpreter.
+MIN_SPEEDUP = 10.0
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _signal(n: int, scale: int = 1000) -> list:
+    return [((i * 37 + (i * i) % 211) % (2 * scale)) - scale
+            for i in range(n)]
+
+
+def _measure(engine: str) -> dict:
+    runner = KernelRunner(soc=BiosignalSoC(engine=engine))
+    vwr2a = runner.soc.vwr2a
+    fft = SplitFftEngine(runner, 2048)
+    re = _signal(2048)
+    im = _signal(2048, scale=700)
+    fft.run(re, im)  # warm-up: compile-once caches, twiddle staging
+
+    acc = {"wall": 0.0, "cycles": 0, "launches": 0}
+    original_run = vwr2a.run
+
+    def timed_run(name, max_cycles=None):
+        start = time.perf_counter()
+        result = original_run(name, max_cycles=max_cycles)
+        acc["wall"] += time.perf_counter() - start
+        acc["cycles"] += result.cycles
+        acc["launches"] += 1
+        return result
+
+    vwr2a.run = timed_run
+    try:
+        out = fft.run(re, im)
+    finally:
+        vwr2a.run = original_run
+    return {
+        "engine": engine,
+        "kernel_cycles": acc["cycles"],
+        "kernel_launches": acc["launches"],
+        "wall_seconds": acc["wall"],
+        "cycles_per_second": acc["cycles"] / acc["wall"],
+        "spectrum_head": (out.re[:4], out.im[:4]),
+    }
+
+
+def test_sim_speed_fft2048():
+    reference = _measure("reference")
+    compiled = _measure("compiled")
+
+    # Equivalence first: same simulated work, same results.
+    assert compiled["kernel_cycles"] == reference["kernel_cycles"]
+    assert compiled["kernel_launches"] == reference["kernel_launches"]
+    assert compiled["spectrum_head"] == reference["spectrum_head"]
+
+    speedup = (
+        compiled["cycles_per_second"] / reference["cycles_per_second"]
+    )
+    payload = {
+        "benchmark": "fft2048_split",
+        "metric": "simulated cycles per wall-clock second (Vwr2a.run only)",
+        "reference": {
+            k: v for k, v in reference.items() if k != "spectrum_head"
+        },
+        "compiled": {
+            k: v for k, v in compiled.items() if k != "spectrum_head"
+        },
+        "speedup": speedup,
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+    (_REPO_ROOT / "BENCH_sim_speed.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled engine only {speedup:.1f}x faster than reference "
+        f"(need >= {MIN_SPEEDUP}x); see BENCH_sim_speed.json"
+    )

@@ -126,8 +126,16 @@ def _assemble_features(insp, exp, bands) -> list:
     ]
 
 
-def run_application(samples, config: str, runner: KernelRunner = None) -> AppResult:
-    """Run one MBioTracker window in the given configuration."""
+def run_application(samples, config: str, runner: KernelRunner = None,
+                    reset_sram: bool = True) -> AppResult:
+    """Run one MBioTracker window in the given configuration.
+
+    A caller-provided ``runner`` is reused across windows: by default its
+    SRAM bump allocator is rewound first (staging buffers are per-window;
+    without the rewind a few windows overflow the SRAM). Pass
+    ``reset_sram=False`` if you keep your own SRAM-resident buffers
+    allocated through that runner and manage the allocator yourself.
+    """
     if len(samples) != WINDOW:
         raise ConfigurationError(
             f"the application window is {WINDOW} samples, got {len(samples)}"
@@ -138,6 +146,8 @@ def run_application(samples, config: str, runner: KernelRunner = None) -> AppRes
         )
     if runner is None:
         runner = KernelRunner()
+    elif reset_sram:
+        runner.reset_sram()
     taps = lowpass_taps_q15(FIR_TAPS, FIR_CUTOFF)
     model = default_workload_model()
     soc = runner.soc

@@ -14,7 +14,7 @@ from repro.arch import DEFAULT_PARAMS, ArchParams
 from repro.core.column import Column
 from repro.core.config_mem import ConfigurationMemory
 from repro.core.dma import Dma
-from repro.core.errors import ConfigurationError, ProgramError
+from repro.core.errors import ConfigurationError
 from repro.core.events import Ev, EventCounters
 from repro.core.hazards import check_program
 from repro.core.spm import Scratchpad
@@ -37,7 +37,15 @@ class RunResult:
 
 
 class Vwr2a:
-    """A VWR2A instance: reconfigurable array + memories + DMA."""
+    """A VWR2A instance: reconfigurable array + memories + DMA.
+
+    ``engine`` selects how kernels execute: ``"compiled"`` (the default)
+    predecodes each program into basic-block micro-op closures at
+    ``load_kernel`` time and batches event accounting (docs/engine.md);
+    ``"reference"`` is the original cycle-by-cycle interpreter
+    (``Column.step``), kept as the golden model. Both produce identical
+    cycle counts and event snapshots.
+    """
 
     #: Runaway guard for kernel execution.
     DEFAULT_MAX_CYCLES = 10_000_000
@@ -48,8 +56,12 @@ class Vwr2a:
         events: EventCounters = None,
         bus=None,
         dma_setup_cycles: int = 24,
+        engine: str = "compiled",
     ) -> None:
+        from repro.engine import make_engine
+
         self.params = params
+        self._engine = make_engine(engine)
         self.events = events if events is not None else EventCounters()
         self.spm = Scratchpad(
             params.spm_lines, params.line_words, self.events
@@ -85,7 +97,9 @@ class Vwr2a:
         Returns the cycle cost (one cycle per configuration word plus one
         per initial SRF entry, per column).
         """
-        config = self.config_mem.get(name)
+        return self._install(self.config_mem.get(name))
+
+    def _install(self, config: KernelConfig) -> int:
         cycles = 0
         for col, program in config.columns.items():
             self.columns[col].load(program)
@@ -93,28 +107,25 @@ class Vwr2a:
             self.events.add(Ev.CONFIG_WORD, len(program.bundles))
             self.events.add(Ev.SRF_WRITE, len(program.srf_init))
             cycles += cost
-        self.synchronizer.kernel_started(name, config.columns.keys())
+        self.synchronizer.kernel_started(config.name, config.columns.keys())
         return cycles
 
     # -- execution -----------------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        """Name of the active execution engine."""
+        return self._engine.name
 
     def run(self, name: str, max_cycles: int = None) -> RunResult:
         """Load and execute a stored kernel to completion."""
         if max_cycles is None:
             max_cycles = self.DEFAULT_MAX_CYCLES
-        config_cycles = self.load_kernel(name)
+        # Single configuration fetch: _install reuses it for the load.
         config = self.config_mem.get(name)
+        config_cycles = self._install(config)
         active = [self.columns[col] for col in config.columns]
-        cycles = 0
-        while any(not col.done for col in active):
-            if cycles >= max_cycles:
-                raise ProgramError(
-                    f"kernel {name!r} exceeded {max_cycles} cycles; "
-                    f"missing EXIT or diverging loop?"
-                )
-            for col in active:
-                col.step()
-            cycles += 1
+        cycles = self._engine.run_kernel(self, name, active, max_cycles)
         self.synchronizer.kernel_finished(name, cycles, config.columns.keys())
         return RunResult(
             name=name,

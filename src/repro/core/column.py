@@ -67,7 +67,8 @@ class Column:
         self.k = 0
         self.done = False
         self.steps = 0
-        self.rc_out = [0] * self.params.rcs_per_column
+        # In-place reset: the compiled engine's closures capture this list.
+        self.rc_out[:] = [0] * self.params.rcs_per_column
         for entry, value in program.srf_init.items():
             self.srf.poke(entry, value)
 

@@ -29,6 +29,12 @@ class ConfigurationMemory:
             col: [encode_bundle(b) for b in program.bundles]
             for col, program in config.columns.items()
         }
+        for col, program in config.columns.items():
+            # Encode/decode are exact inverses, so the configuration words
+            # are a lossless structural fingerprint; the compiled engine
+            # keys its program memo on it (hashing ints, not instruction
+            # trees — kernels regenerated per launch hit the memo cheaply).
+            program._fingerprint = tuple(encoded[col])
         self._kernels[config.name] = config
         self._encoded[config.name] = encoded
 

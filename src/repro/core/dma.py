@@ -41,10 +41,13 @@ class Dma:
 
     def to_spm_gather(self, sram, src_words, dst_word: int) -> int:
         """Gather system-memory words (arbitrary order, repeats allowed)
-        into consecutive SPM words starting at ``dst_word``."""
+        into consecutive SPM words starting at ``dst_word``.
+
+        Uses the batch word interfaces: one event record per burst instead
+        of one per word (identical counts, far less accounting overhead).
+        """
         src_words = list(src_words)
-        for offset, src in enumerate(src_words):
-            self.spm.write_word(dst_word + offset, sram.read_word(src))
+        self.spm.write_words(dst_word, sram.read_words(src_words))
         return self._transfer_cycles(len(src_words))
 
     # -- SPM -> system memory ----------------------------------------------
@@ -59,8 +62,7 @@ class Dma:
         """Gather SPM words (arbitrary order — used to compact the FIR
         kernel's sparse output) into consecutive system-memory words."""
         src_words = list(src_words)
-        for offset, src in enumerate(src_words):
-            sram.write_word(dst_word + offset, self.spm.read_word(src))
+        sram.write_words(dst_word, self.spm.read_words(src_words))
         return self._transfer_cycles(len(src_words))
 
     # -- cost model ---------------------------------------------------------
@@ -70,6 +72,5 @@ class Dma:
             raise AddressError(f"negative transfer length {n_words}")
         if n_words == 0:
             return 0
-        self.events.add(Ev.DMA_SETUP)
-        self.events.add(Ev.DMA_BEAT, n_words)
+        self.events.add_many({Ev.DMA_SETUP: 1, Ev.DMA_BEAT: n_words})
         return self.setup_cycles + self.bus.burst_cycles(n_words)

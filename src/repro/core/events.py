@@ -74,6 +74,19 @@ class EventCounters:
         if count:
             self._counts[name] += count
 
+    def add_many(self, counts: dict) -> None:
+        """Bulk-record a ``{name: count}`` batch in one update.
+
+        Equivalent to calling :meth:`add` per entry (zero counts are
+        skipped so snapshots stay free of empty keys); used by the wide
+        DMA paths and by the compiled engine's end-of-kernel event fold.
+        """
+        if any(count == 0 for count in counts.values()):
+            counts = {
+                name: count for name, count in counts.items() if count
+            }
+        self._counts.update(counts)
+
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
 

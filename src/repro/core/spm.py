@@ -63,6 +63,25 @@ class Scratchpad:
         self._events.add(Ev.SPM_WORD_WRITE)
         self._data[addr] = to_signed32(value)
 
+    def read_words(self, addrs) -> list:
+        """Batch of narrow-port reads (one event record for the batch)."""
+        data = self._data
+        n_words = self.n_words
+        for addr in addrs:
+            if not 0 <= addr < n_words:
+                self._check_word(addr)
+        self._events.add(Ev.SPM_WORD_READ, len(addrs))
+        return [data[addr] for addr in addrs]
+
+    def write_words(self, addr: int, values) -> None:
+        """Batch of consecutive narrow-port writes (bulk event record)."""
+        if addr < 0 or addr + len(values) > self.n_words:
+            self._check_word(addr if addr < 0 else addr + len(values) - 1)
+        self._events.add(Ev.SPM_WORD_WRITE, len(values))
+        self._data[addr:addr + len(values)] = [
+            to_signed32(v) for v in values
+        ]
+
     # -- debug/test accessors (no events) ----------------------------------
 
     def peek_words(self, addr: int, count: int) -> list:

@@ -55,7 +55,8 @@ class VeryWideRegister:
                 f"{self.n_words}-word register"
             )
         self._events.add(Ev.VWR_WIDE_WRITE)
-        self._data = [to_signed32(v) for v in values]
+        # In-place update: the compiled engine's closures capture this list.
+        self._data[:] = [to_signed32(v) for v in values]
 
     def peek(self, index: int) -> int:
         """Debug/test access without event logging."""

@@ -1,0 +1,39 @@
+"""Precompiled micro-op execution engine for the VWR2A simulator.
+
+``compile once at load_kernel, execute many`` — see docs/engine.md for the
+design. Select per instance via ``Vwr2a(engine="compiled"|"reference")``.
+"""
+
+from repro.core.errors import ConfigurationError
+from repro.engine.compiler import CompiledProgram, compile_program
+from repro.engine.deltas import bundle_event_delta
+from repro.engine.executor import BoundColumn, CompiledEngine, ReferenceEngine
+
+#: Engine registry: name -> factory.
+ENGINES = {
+    CompiledEngine.name: CompiledEngine,
+    ReferenceEngine.name: ReferenceEngine,
+}
+
+
+def make_engine(name: str):
+    """Instantiate an execution engine by name."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r} (choose from {sorted(ENGINES)})"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "BoundColumn",
+    "CompiledEngine",
+    "CompiledProgram",
+    "ReferenceEngine",
+    "ENGINES",
+    "bundle_event_delta",
+    "compile_program",
+    "make_engine",
+]

@@ -1,0 +1,476 @@
+"""Bundle predecoder: ColumnProgram -> basic-block micro-op closures.
+
+The reference interpreter re-decodes every bundle on every cycle: enum
+``is``-chains select the unit semantics, operand kinds are re-dispatched,
+and ~10 ``EventCounters.add`` calls tick per column cycle. This module
+performs that decode exactly once per program:
+
+* every bundle is lowered to flat Python source whose operand fetches are
+  resolved into direct list accesses (``VA[96 + k]``, ``S[3]``,
+  ``R2[0]``, ...) and whose ALU semantics are inlined two's-complement
+  expressions;
+* straight-line bundle runs between branch targets are fused into one
+  generated function per **basic block**, so the execute loop dispatches
+  whole blocks instead of cycles;
+* a block whose terminating branch targets its own leader (the Table-1
+  two-bundle vector loop) is additionally fused into a **self-loop**: the
+  generated function iterates internally and reports how many trips it
+  made, eliminating per-iteration dispatch entirely;
+* each block carries the static event delta of one execution
+  (:mod:`repro.engine.deltas`) — the executor folds ``delta x count`` into
+  the shared tally at kernel end.
+
+Compilation is memoized two ways: per :class:`ColumnProgram` object, and
+structurally by ``(params, bundles)`` — kernels regenerated per launch
+with identical code but different ``srf_init`` (the FFT engines do this
+constantly) hit the structural memo and compile exactly once.
+
+The generated code binds the column's storage (SRF/VWR/SPM backing lists)
+via default arguments at bind time (:class:`repro.engine.executor
+.BoundColumn`), so the hot path performs only local-variable indexing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+
+from repro.core.errors import ProgramError
+from repro.engine.deltas import bundle_event_delta
+from repro.isa.fields import RCDstKind, RCSrcKind
+from repro.isa.lcu import BRANCH_OPS, LCUCmp, LCUOp
+from repro.isa.lsu import LSUOp
+from repro.isa.mxcu import NO_SRF, MXCUOp
+from repro.isa.rc import RCOp
+from repro.utils.bits import to_signed32
+from repro.utils.fixed_point import wrap32
+
+#: LCU ops that end a basic block.
+_TERMINATORS = frozenset(BRANCH_OPS) | {LCUOp.JUMP, LCUOp.EXIT}
+
+_CMP_SYMBOL = {
+    LCUOp.BLT: "<",
+    LCUOp.BGE: ">=",
+    LCUOp.BEQ: "==",
+    LCUOp.BNE: "!=",
+}
+
+_VWR_SRC_NAMES = {
+    RCSrcKind.VWR_A: "VA",
+    RCSrcKind.VWR_B: "VB",
+    RCSrcKind.VWR_C: "VC",
+}
+
+_VWR_DST_NAMES = {
+    RCDstKind.VWR_A: "VA",
+    RCDstKind.VWR_B: "VB",
+    RCDstKind.VWR_C: "VC",
+}
+
+_LSU_VWR_NAMES = {0: "VA", 1: "VB", 2: "VC"}
+
+#: Structural memo: (params, bundles) -> CompiledProgram.
+_MEMO = OrderedDict()
+_MEMO_CAP = 256
+
+
+def _w(expr: str) -> str:
+    """Inline ``wrap32``: signed 32-bit two's-complement wrap of ``expr``."""
+    return f"((({expr}) + 2147483648 & 4294967295) - 2147483648)"
+
+
+def _alu_expr(op: RCOp, a: str, b: str) -> str:
+    """Inline source of ``alu_execute(op, a, b)`` (see repro.core.alu)."""
+    if op is RCOp.SADD:
+        return _w(f"({a}) + ({b})")
+    if op is RCOp.SSUB:
+        return _w(f"({a}) - ({b})")
+    if op is RCOp.SMUL:
+        return _w(f"({a}) * ({b})")
+    if op is RCOp.FXPMUL:
+        return _w(f"(({a}) * ({b})) >> 15")
+    if op is RCOp.SLL:
+        return _w(f"(({a}) & 4294967295) << (({b}) & 31)")
+    if op is RCOp.SRL:
+        return _w(f"(({a}) & 4294967295) >> (({b}) & 31)")
+    if op is RCOp.SRA:
+        return f"(({a}) >> (({b}) & 31))"
+    if op is RCOp.LAND:
+        return _w(f"({a}) & ({b}) & 4294967295")
+    if op is RCOp.LOR:
+        return _w(f"(({a}) | ({b})) & 4294967295")
+    if op is RCOp.LXOR:
+        return _w(f"(({a}) ^ ({b})) & 4294967295")
+    if op is RCOp.LNOT:
+        return _w(f"(~({a})) & 4294967295")
+    if op is RCOp.MOV:
+        return _w(a)
+    if op is RCOp.SMAX:
+        return f"max(({a}), ({b}))"
+    if op is RCOp.SMIN:
+        return f"min(({a}), ({b}))"
+    if op is RCOp.SADD16:
+        return f"_s16a(({a}), ({b}))"
+    if op is RCOp.SSUB16:
+        return f"_s16s(({a}), ({b}))"
+    if op is RCOp.FXPMUL16:
+        return f"_s16m(({a}), ({b}))"
+    raise ProgramError(f"cannot compile RC op {op!r}")
+
+
+@dataclass
+class _BundleCode:
+    lines: list
+    uses_k: bool = False
+    sets_k: bool = False
+
+
+class _BundleGen:
+    """Lowers one bundle into flat source lines."""
+
+    def __init__(self, params) -> None:
+        self.params = params
+        self.slice_words = params.slice_words
+        self.slice_mask = params.slice_words - 1
+        self.n_rcs = params.rcs_per_column
+        self.srf_entries = params.srf_entries
+
+    # -- operand / guard helpers -----------------------------------------
+
+    def _srf_guard(self, entry: int, guards: list) -> None:
+        """Invalid static SRF entries raise the SRF's AddressError when the
+        bundle executes (the reference raises mid-bundle; the compiled form
+        raises before the bundle's side effects — see docs/engine.md)."""
+        if not 0 <= entry < self.srf_entries:
+            guards.append(f"_raise_srf({entry}, {self.srf_entries})")
+
+    def _operand(self, operand, i: int, guards: list):
+        kind = operand.kind
+        if kind is RCSrcKind.ZERO:
+            return "0", False
+        if kind is RCSrcKind.IMM:
+            return repr(int(operand.index)), False
+        if kind is RCSrcKind.R0:
+            return f"R{i}[0]", False
+        if kind is RCSrcKind.R1:
+            return f"R{i}[1]", False
+        if kind is RCSrcKind.RCT:
+            return f"O[{(i - 1) % self.n_rcs}]", False
+        if kind is RCSrcKind.RCB:
+            return f"O[{(i + 1) % self.n_rcs}]", False
+        if kind is RCSrcKind.SRF:
+            self._srf_guard(operand.index, guards)
+            return f"S[{int(operand.index)}]", False
+        name = _VWR_SRC_NAMES[kind]
+        return f"{name}[{i * self.slice_words} + k]", True
+
+    # -- per-unit lowering -------------------------------------------------
+
+    def gen(self, bundle) -> _BundleCode:
+        code = _BundleCode(lines=[])
+        guards = []
+        self._gen_mxcu(bundle.mxcu, code, guards)
+        self._gen_rcs(bundle.rcs, code, guards)
+        self._gen_lsu(bundle.lsu, code, guards)
+        self._gen_lcu_state(bundle.lcu, code, guards)
+        if guards:
+            # Any statically invalid SRF entry faults the whole bundle.
+            code.lines = guards[:1] + code.lines
+        return code
+
+    def _gen_mxcu(self, instr, code, guards) -> None:
+        if instr.op is MXCUOp.NOP:
+            return
+        if instr.op is MXCUOp.SETK:
+            code.lines.append(f"k = {instr.k & self.slice_mask}")
+            code.sets_k = True
+            return
+        if instr.srf_and != NO_SRF:
+            self._srf_guard(instr.srf_and, guards)
+            and_expr = f"S[{instr.srf_and}]"
+        else:
+            and_expr = str(int(instr.and_mask))
+        code.lines.append(
+            f"k = (((k + {instr.inc}) & {and_expr}) ^ "
+            f"{int(instr.xor_mask)}) & {self.slice_mask}"
+        )
+        code.uses_k = True
+        code.sets_k = True
+
+    def _gen_rcs(self, instrs, code, guards) -> None:
+        computes = []
+        commits = []
+        for i, instr in enumerate(instrs):
+            if instr.is_nop:
+                continue
+            operands = instr.operands()
+            a_expr, a_k = self._operand(operands[0], i, guards) \
+                if operands else ("0", False)
+            if len(operands) > 1:
+                b_expr, b_k = self._operand(operands[1], i, guards)
+            else:
+                b_expr, b_k = "0", False
+            computes.append(f"v{i} = {_alu_expr(instr.op, a_expr, b_expr)}")
+            code.uses_k |= a_k or b_k
+            # Commit phase: all writes observe cycle-start reads.
+            commits.append(f"O[{i}] = v{i}")
+            kind = instr.dst.kind
+            if kind is RCDstKind.R0:
+                commits.append(f"R{i}[0] = v{i}")
+            elif kind is RCDstKind.R1:
+                commits.append(f"R{i}[1] = v{i}")
+            elif kind is RCDstKind.SRF:
+                self._srf_guard(instr.dst.index, guards)
+                commits.append(f"S[{int(instr.dst.index)}] = v{i}")
+            elif kind in _VWR_DST_NAMES:
+                name = _VWR_DST_NAMES[kind]
+                commits.append(f"{name}[{i * self.slice_words} + k] = v{i}")
+                code.uses_k = True
+        code.lines += computes + commits
+
+    def _gen_lsu(self, instr, code, guards) -> None:
+        op = instr.op
+        if op is LSUOp.NOP:
+            return
+        params = self.params
+        lines = code.lines
+        if op in (LSUOp.LD_VWR, LSUOp.ST_VWR):
+            self._srf_guard(instr.addr, guards)
+            vwr = _LSU_VWR_NAMES[int(instr.vwr)]
+            line_words = params.line_words
+            lines.append(f"_a = S[{int(instr.addr)}]")
+            lines.append(
+                f"if not 0 <= _a < {params.spm_lines}: "
+                f"raise AddressError('SPM line %d out of range [0, "
+                f"{params.spm_lines})' % _a)"
+            )
+            lines.append(f"_b = _a * {line_words}")
+            if op is LSUOp.LD_VWR:
+                lines.append(f"{vwr}[:] = M[_b:_b + {line_words}]")
+            else:
+                lines.append(f"M[_b:_b + {line_words}] = {vwr}")
+            self._post_increment(instr, lines)
+        elif op in (LSUOp.LD_SRF, LSUOp.ST_SRF):
+            self._srf_guard(instr.addr, guards)
+            self._srf_guard(instr.data, guards)
+            lines.append(f"_a = S[{int(instr.addr)}]")
+            lines.append(
+                f"if not 0 <= _a < {params.spm_words}: "
+                f"raise AddressError('SPM word address %d out of range [0, "
+                f"{params.spm_words})' % _a)"
+            )
+            if op is LSUOp.LD_SRF:
+                lines.append(f"S[{int(instr.data)}] = M[_a]")
+            else:
+                lines.append(f"M[_a] = S[{int(instr.data)}]")
+            self._post_increment(instr, lines)
+        elif op is LSUOp.SET_SRF:
+            self._srf_guard(instr.data, guards)
+            lines.append(
+                f"S[{int(instr.data)}] = {to_signed32(instr.value)}"
+            )
+        elif op is LSUOp.SHUF:
+            lines.append(f"VC[:] = _shuf{int(instr.mode)}(VA, VB)")
+        else:
+            raise ProgramError(f"cannot compile LSU op {op!r}")
+
+    def _post_increment(self, instr, lines) -> None:
+        if instr.inc:
+            lines.append(
+                f"S[{int(instr.addr)}] = " + _w(f"_a + {int(instr.inc)}")
+            )
+
+    def _gen_lcu_state(self, instr, code, guards) -> None:
+        """The LCU's register-file side; control flow is the block's job."""
+        op = instr.op
+        if op is LCUOp.SETI:
+            code.lines.append(f"L[{instr.rd}] = {wrap32(instr.imm)}")
+        elif op is LCUOp.ADDI:
+            code.lines.append(
+                f"L[{instr.rd}] = " + _w(f"L[{instr.rd}] + {int(instr.imm)}")
+            )
+        elif op is LCUOp.LDSRF:
+            self._srf_guard(instr.cmp, guards)
+            code.lines.append(f"L[{instr.rd}] = S[{int(instr.cmp)}]")
+        elif op in BRANCH_OPS and instr.cmp_kind is LCUCmp.SRF:
+            self._srf_guard(instr.cmp, guards)
+
+
+def _branch_cond(instr) -> str:
+    """Source of the taken-condition of a branch LCU instruction."""
+    if instr.cmp_kind is LCUCmp.IMM:
+        cmp_expr = repr(int(instr.cmp))
+    elif instr.cmp_kind is LCUCmp.REG:
+        cmp_expr = f"L[{int(instr.cmp)}]"
+    else:
+        cmp_expr = f"S[{int(instr.cmp)}]"
+    return f"L[{instr.rd}] {_CMP_SYMBOL[instr.op]} {cmp_expr}"
+
+
+@dataclass
+class BlockInfo:
+    """Static description of one compiled basic block."""
+
+    index: int
+    leader: int          #: PC of the block's first bundle
+    n_cycles: int        #: bundles (= cycles) per straight execution
+    fn_name: str
+    delta: tuple         #: ((event, count), ...) for one execution
+    exit_next: int       #: reference PC after EXIT (-1 when not an exit)
+    is_loop: bool        #: self-loop fused: fn(limit) -> (next_pc, trips)
+
+
+class CompiledProgram:
+    """Code object + block metadata of one compiled ColumnProgram."""
+
+    __slots__ = ("params", "source", "code", "blocks", "n_bundles")
+
+    def __init__(self, params, source, code, blocks, n_bundles) -> None:
+        self.params = params
+        self.source = source
+        self.code = code
+        self.blocks = blocks
+        self.n_bundles = n_bundles
+
+    def listing(self) -> str:
+        """The generated Python source (debug aid)."""
+        return self.source
+
+
+def _leaders(bundles) -> set:
+    leaders = {0}
+    n = len(bundles)
+    for pc, bundle in enumerate(bundles):
+        op = bundle.lcu.op
+        if op in BRANCH_OPS or op is LCUOp.JUMP:
+            leaders.add(bundle.lcu.target)
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif op is LCUOp.EXIT and pc + 1 < n:
+            leaders.add(pc + 1)
+    return leaders
+
+
+def _block_pcs(bundles) -> list:
+    """Partition PCs into basic blocks (leader-to-terminator runs)."""
+    leaders = _leaders(bundles)
+    blocks = []
+    current = []
+    for pc in range(len(bundles)):
+        if current and pc in leaders:
+            blocks.append(current)
+            current = []
+        current.append(pc)
+        if bundles[pc].lcu.op in _TERMINATORS:
+            blocks.append(current)
+            current = []
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+def signature_names(params) -> list:
+    """Bind-time names the generated functions take as default args."""
+    names = ["col", "S", "M", "VA", "VB", "VC", "O", "L"]
+    names += [f"R{i}" for i in range(params.rcs_per_column)]
+    return names
+
+
+def compile_program(program, params) -> CompiledProgram:
+    """Compile ``program`` (memoized per object and per structure)."""
+    cached = getattr(program, "_compiled", None)
+    if cached is not None and cached[0] is params:
+        return cached[1]
+    # Prefer the configuration-word fingerprint stamped at store time
+    # (ints hash orders of magnitude faster than instruction trees); fall
+    # back to the bundle tuple for programs loaded outside the config
+    # memory (direct Column.load in tests).
+    fingerprint = getattr(program, "_fingerprint", None)
+    key = (params, fingerprint if fingerprint is not None
+           else tuple(program.bundles))
+    compiled = _MEMO.get(key)
+    if compiled is None:
+        compiled = _compile(tuple(program.bundles), params)
+        _MEMO[key] = compiled
+        if len(_MEMO) > _MEMO_CAP:
+            _MEMO.popitem(last=False)
+    program._compiled = (params, compiled)
+    return compiled
+
+
+def _compile(bundles, params) -> CompiledProgram:
+    gen = _BundleGen(params)
+    bodies = [gen.gen(bundle) for bundle in bundles]
+    deltas = [bundle_event_delta(bundle, params) for bundle in bundles]
+    sig = ", ".join(f"{name}={name}" for name in signature_names(params))
+
+    blocks = []
+    sources = []
+    for index, pcs in enumerate(_block_pcs(bundles)):
+        leader = pcs[0]
+        last = bundles[pcs[-1]]
+        uses_k = any(bodies[pc].uses_k for pc in pcs)
+        sets_k = any(bodies[pc].sets_k for pc in pcs)
+        op = last.lcu.op
+        is_loop = op in BRANCH_OPS and last.lcu.target == leader
+
+        fn_name = f"_b{leader}"
+        lines = [f"def {fn_name}({'limit, ' if is_loop else ''}{sig}):"]
+        indent = "    "
+        if uses_k or sets_k:
+            lines.append(f"{indent}k = col.k")
+        if is_loop:
+            lines.append(f"{indent}_n = 0")
+            lines.append(f"{indent}while True:")
+            body_indent = indent + "    "
+        else:
+            body_indent = indent
+        for pc in pcs:
+            for line in bodies[pc].lines:
+                lines.append(body_indent + line)
+        if is_loop:
+            # Taken branch loops internally (bounded by the cycle budget);
+            # fall-through or an exhausted limit returns to the dispatcher.
+            lines.append(f"{body_indent}_n += 1")
+            lines.append(f"{body_indent}if {_branch_cond(last.lcu)}:")
+            lines.append(f"{body_indent}    if _n < limit: continue")
+            lines.append(f"{body_indent}    _pc = {leader}")
+            lines.append(f"{body_indent}else:")
+            lines.append(f"{body_indent}    _pc = {pcs[-1] + 1}")
+            lines.append(f"{body_indent}break")
+            if sets_k:
+                lines.append(f"{indent}col.k = k")
+            lines.append(f"{indent}return _pc, _n")
+        else:
+            if sets_k:
+                lines.append(f"{indent}col.k = k")
+            if op is LCUOp.JUMP:
+                ret = f"return {last.lcu.target}"
+            elif op is LCUOp.EXIT:
+                ret = "return -1"
+            elif op in BRANCH_OPS:
+                ret = (
+                    f"return {last.lcu.target} if {_branch_cond(last.lcu)} "
+                    f"else {pcs[-1] + 1}"
+                )
+            else:
+                ret = f"return {pcs[-1] + 1}"
+            lines.append(indent + ret)
+        sources.append("\n".join(lines))
+
+        delta = Counter()
+        for pc in pcs:
+            delta.update(deltas[pc])
+        blocks.append(BlockInfo(
+            index=index,
+            leader=leader,
+            n_cycles=len(pcs),
+            fn_name=fn_name,
+            delta=tuple(sorted(delta.items())),
+            exit_next=(pcs[-1] + 1) if op is LCUOp.EXIT else -1,
+            is_loop=is_loop,
+        ))
+
+    source = "\n\n".join(sources)
+    code = compile(source, "<vwr2a-compiled-program>", "exec")
+    return CompiledProgram(params, source, code, blocks, len(bundles))

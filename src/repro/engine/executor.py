@@ -1,0 +1,300 @@
+"""Execution engines: the compiled block dispatcher and the reference loop.
+
+Two interchangeable engines drive kernel execution for
+:class:`repro.core.cgra.Vwr2a`:
+
+* :class:`ReferenceEngine` — the original cycle-by-cycle interpreter
+  (``Column.step`` per column per cycle). It is the golden model.
+* :class:`CompiledEngine` — binds each column's
+  :class:`~repro.engine.compiler.CompiledProgram` to the column's storage
+  and dispatches whole basic blocks (and fused self-loops) per iteration.
+  Event counting happens as per-block execution histograms that are folded
+  into the shared :class:`~repro.core.events.EventCounters` once at kernel
+  end (:meth:`BoundColumn.finish`) — bit-identical to per-cycle logging
+  because every bundle's event delta is static (see
+  :mod:`repro.engine.deltas`).
+
+Multi-column kernels run under a virtual-time scheduler: the column with
+the smallest cycle count advances by one block. Columns therefore
+synchronize at block (not cycle) granularity; kernels where columns
+communicate through the SPM *inside* a basic block must use the reference
+engine (no seed kernel does — columns partition the SPM by construction;
+``tests/test_engine_equivalence.py`` checks every kernel).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from functools import partial
+
+from repro.core.alu import _simd16
+from repro.core.errors import AddressError, ProgramError
+from repro.core.shuffle import shuffle
+from repro.engine.compiler import compile_program
+from repro.isa.fields import ShuffleMode, Vwr
+from repro.isa.rc import RCOp
+
+
+def _budget_error(name: str, max_cycles: int) -> ProgramError:
+    return ProgramError(
+        f"kernel {name!r} exceeded {max_cycles} cycles; "
+        f"missing EXIT or diverging loop?"
+    )
+
+
+def _past_end_error(column_index: int, pc: int) -> ProgramError:
+    return ProgramError(
+        f"column {column_index}: PC {pc} ran past the program "
+        f"without an EXIT"
+    )
+
+
+def _raise_srf(entry: int, n_entries: int):
+    raise AddressError(f"SRF entry {entry} out of range [0, {n_entries})")
+
+
+class ReferenceEngine:
+    """The golden per-cycle interpreter (``Column.step`` in lock-step)."""
+
+    name = "reference"
+
+    def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
+        cycles = 0
+        while any(not col.done for col in active):
+            if cycles >= max_cycles:
+                raise _budget_error(name, max_cycles)
+            for col in active:
+                col.step()
+            cycles += 1
+        return cycles
+
+
+class BoundColumn:
+    """A compiled program bound to one column's storage.
+
+    Binding executes the generated module once, capturing the column's SRF
+    / VWR / SPM backing lists and register files as default arguments of
+    the block functions; re-running the same kernel afterwards only resets
+    the execution histogram.
+    """
+
+    def __init__(self, column, compiled) -> None:
+        self.column = column
+        self.compiled = compiled
+        namespace = self._namespace(column)
+        exec(compiled.code, namespace)
+        table = {}
+        for blk in compiled.blocks:
+            table[blk.leader] = (
+                namespace[blk.fn_name],
+                blk.n_cycles,
+                blk.index,
+                blk.exit_next,
+                blk.is_loop,
+            )
+        self.table = table
+        self.counts = [0] * len(compiled.blocks)
+        self.steps = 0
+        self.pc = 0
+
+    @staticmethod
+    def _namespace(column) -> dict:
+        g = {
+            "col": column,
+            "S": column.srf._data,
+            "M": column.spm._data,
+            "VA": column.vwrs[Vwr.A]._data,
+            "VB": column.vwrs[Vwr.B]._data,
+            "VC": column.vwrs[Vwr.C]._data,
+            "O": column.rc_out,
+            "L": column.lcu_regs,
+            "AddressError": AddressError,
+            "_raise_srf": _raise_srf,
+            "_s16a": partial(_simd16, RCOp.SADD16),
+            "_s16s": partial(_simd16, RCOp.SSUB16),
+            "_s16m": partial(_simd16, RCOp.FXPMUL16),
+        }
+        for i, regs in enumerate(column.rc_regs):
+            g[f"R{i}"] = regs
+        slice_words = column.params.slice_words
+        for mode in ShuffleMode:
+            g[f"_shuf{int(mode)}"] = partial(
+                _mode_shuffle, mode, slice_words
+            )
+        return g
+
+    def begin(self) -> None:
+        self.counts = [0] * len(self.compiled.blocks)
+        self.steps = 0
+        self.pc = 0
+
+    def run_to_exit(self, kernel_name: str, max_cycles: int) -> int:
+        """Single-column fast path: dispatch blocks until EXIT."""
+        table = self.table
+        counts = self.counts
+        steps = 0
+        pc = 0
+        try:
+            while True:
+                entry = table.get(pc)
+                if entry is None:
+                    raise _past_end_error(self.column.index, pc)
+                fn, n_cycles, index, exit_next, is_loop = entry
+                if is_loop:
+                    limit = (max_cycles - steps) // n_cycles
+                    if limit <= 0:
+                        raise _budget_error(kernel_name, max_cycles)
+                    pc, trips = fn(limit)
+                    counts[index] += trips
+                    steps += trips * n_cycles
+                else:
+                    if steps + n_cycles > max_cycles:
+                        raise _budget_error(kernel_name, max_cycles)
+                    counts[index] += 1
+                    steps += n_cycles
+                    pc = fn()
+                    if pc < 0:
+                        pc = exit_next
+                        break
+        finally:
+            # Persist progress even when aborting (budget / address
+            # errors), so the error-path event fold sees it.
+            self.steps = steps
+            self.pc = pc
+        return steps
+
+    def advance(self, kernel_name: str, max_cycles: int,
+                horizon: int = None) -> bool:
+        """Execute one block (or fused loop run); False once EXITed.
+
+        ``horizon`` (multi-column scheduling) caps a fused self-loop so
+        this column stops as soon as its virtual time passes the other
+        running columns' — preserving block-granularity alignment.
+        """
+        entry = self.table.get(self.pc)
+        if entry is None:
+            raise _past_end_error(self.column.index, self.pc)
+        fn, n_cycles, index, exit_next, is_loop = entry
+        if is_loop:
+            limit = (max_cycles - self.steps) // n_cycles
+            if limit <= 0:
+                raise _budget_error(kernel_name, max_cycles)
+            if horizon is not None:
+                limit = min(
+                    limit, max(1, (horizon - self.steps) // n_cycles + 1)
+                )
+            self.pc, trips = fn(limit)
+            self.counts[index] += trips
+            self.steps += trips * n_cycles
+            return True
+        if self.steps + n_cycles > max_cycles:
+            raise _budget_error(kernel_name, max_cycles)
+        self.counts[index] += 1
+        self.steps += n_cycles
+        pc = fn()
+        if pc < 0:
+            self.pc = exit_next
+            return False
+        self.pc = pc
+        return True
+
+    def flush(self, events) -> None:
+        """Fold the execution histogram into the shared event tally and
+        sync the column's architectural bookkeeping (also on aborts)."""
+        totals = {}
+        counts = self.counts
+        for blk in self.compiled.blocks:
+            count = counts[blk.index]
+            if not count:
+                continue
+            for name, n in blk.delta:
+                totals[name] = totals.get(name, 0) + n * count
+        events.add_many(totals)
+        self.column.steps = self.steps
+        self.column.pc = self.pc
+
+    def finish(self, events) -> None:
+        """Successful-completion fold: flush, then mark the column done."""
+        self.flush(events)
+        self.column.done = True
+
+    def pc_histogram(self) -> list:
+        """Per-PC executed-bundle counts (diagnostics / tests)."""
+        histogram = [0] * self.compiled.n_bundles
+        for blk in self.compiled.blocks:
+            count = self.counts[blk.index]
+            if count:
+                for pc in range(blk.leader, blk.leader + blk.n_cycles):
+                    histogram[pc] += count
+        return histogram
+
+
+def _mode_shuffle(mode, slice_words, a, b):
+    return shuffle(a, b, mode, slice_words=slice_words)
+
+
+class CompiledEngine:
+    """Compile-once / execute-many engine (the fast path)."""
+
+    name = "compiled"
+
+    #: Bound programs kept per column (identity-keyed, FIFO-evicted).
+    CACHE_CAP = 128
+
+    def __init__(self) -> None:
+        self._bound = {}
+
+    def _bind(self, column) -> BoundColumn:
+        compiled = compile_program(column.program, column.params)
+        per_column = self._bound.setdefault(column.index, OrderedDict())
+        entry = per_column.get(id(compiled))
+        if entry is not None and entry[0] is compiled:
+            per_column.move_to_end(id(compiled))
+            return entry[1]
+        bound = BoundColumn(column, compiled)
+        per_column[id(compiled)] = (compiled, bound)
+        if len(per_column) > self.CACHE_CAP:
+            per_column.popitem(last=False)
+        return bound
+
+    def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
+        bounds = [self._bind(col) for col in active]
+        for bound in bounds:
+            bound.begin()
+        try:
+            if len(bounds) == 1:
+                cycles = bounds[0].run_to_exit(name, max_cycles)
+            else:
+                cycles = self._interleave(bounds, name, max_cycles)
+        except BaseException:
+            # Aborted kernels (budget overruns, address faults) still
+            # account the blocks they executed, like the interpreter's
+            # per-cycle logging would have (at block granularity).
+            for bound in bounds:
+                bound.flush(vwr2a.events)
+            raise
+        for bound in bounds:
+            bound.finish(vwr2a.events)
+        return cycles
+
+    @staticmethod
+    def _interleave(bounds, name, max_cycles) -> int:
+        """Virtual-time scheduling: the column with the smallest cycle
+        count advances by one block, so columns stay aligned to within a
+        basic block of each other (the reference interleaves per cycle).
+        Fused self-loops are capped at the next column's virtual time so
+        a loop cannot race ahead of the other running columns; once only
+        one column is still running it executes unthrottled (done columns
+        no longer step in the reference either)."""
+        running = list(bounds)
+        while running:
+            best = running[0]
+            horizon = None
+            for bound in running[1:]:
+                if bound.steps < best.steps:
+                    best, horizon = bound, best.steps
+                elif horizon is None or bound.steps < horizon:
+                    horizon = bound.steps
+            if not best.advance(name, max_cycles, horizon):
+                running.remove(best)
+        return max(bound.steps for bound in bounds)

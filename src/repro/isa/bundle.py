@@ -39,6 +39,17 @@ class Bundle:
     def rc(self, index: int) -> RCInstr:
         return self.rcs[index]
 
+    def event_delta(self, params) -> dict:
+        """Compile hook: the exact event counts one execution logs.
+
+        Every event ``Column.step`` records is fixed by the configuration
+        word alone, so the delta is static; the compiled engine multiplies
+        it by execution counts instead of logging per cycle.
+        """
+        from repro.engine.deltas import bundle_event_delta
+
+        return bundle_event_delta(self, params)
+
     def __str__(self) -> str:
         rc_txt = " | ".join(str(rc) for rc in self.rcs)
         return (

@@ -61,6 +61,17 @@ class ColumnProgram:
             lines.append(f"{pc:3d}: {bundle}")
         return "\n".join(lines)
 
+    def compiled(self, params):
+        """Compile hook: the predecoded basic-block form of this program.
+
+        Memoized per object and structurally (identical bundle sequences
+        share one compilation, whatever their ``srf_init``); used by the
+        ``compiled`` execution engine at ``load_kernel`` time.
+        """
+        from repro.engine.compiler import compile_program
+
+        return compile_program(self, params)
+
 
 @dataclass
 class KernelConfig:

@@ -39,8 +39,16 @@ class KernelRun:
 class KernelRunner:
     """Stages data, launches kernels, and keeps the books."""
 
-    def __init__(self, soc: BiosignalSoC = None) -> None:
-        self.soc = soc if soc is not None else BiosignalSoC()
+    def __init__(self, soc: BiosignalSoC = None, engine: str = None) -> None:
+        if soc is None:
+            soc = BiosignalSoC() if engine is None \
+                else BiosignalSoC(engine=engine)
+        elif engine is not None and soc.vwr2a.engine != engine:
+            raise ConfigurationError(
+                f"runner engine {engine!r} conflicts with the provided "
+                f"SoC's engine {soc.vwr2a.engine!r}"
+            )
+        self.soc = soc
         self.soc.with_accelerators()
         self._sram_next = 0
 
@@ -55,6 +63,17 @@ class KernelRunner:
             )
         self._sram_next = base + n_words
         return base
+
+    def reset_sram(self) -> None:
+        """Rewind the SRAM bump allocator to word 0.
+
+        Staging buffers are transient per processing window; long-running
+        multi-window applications (``repro.app.mbiotracker``) call this
+        between windows to reuse the staging area instead of overflowing.
+        Any engine holding data resident in *SRAM* across windows must
+        re-stage it afterwards (SPM-resident data is unaffected).
+        """
+        self._sram_next = 0
 
     def stage_in(self, values, spm_word: int, order=None) -> int:
         """Host data -> SRAM -> SPM (optionally permuted/gathered).

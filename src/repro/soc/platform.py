@@ -31,6 +31,7 @@ class BiosignalSoC:
         self,
         params: ArchParams = DEFAULT_PARAMS,
         soc_params: SocParams = DEFAULT_SOC_PARAMS,
+        engine: str = "compiled",
     ) -> None:
         self.params = params
         self.soc_params = soc_params
@@ -44,6 +45,7 @@ class BiosignalSoC:
             events=self.events,
             bus=self.bus,
             dma_setup_cycles=soc_params.dma_setup_cycles,
+            engine=engine,
         )
         self.power = PowerManager()
         self.irq = InterruptController()

@@ -55,6 +55,33 @@ class BankedSram:
         self.events.add(Ev.SRAM_WRITE)
         self._data[addr] = to_signed32(value)
 
+    def read_words(self, addrs) -> list:
+        """Batch of word reads (one event record for the whole batch)."""
+        data = self._data
+        n_words = self.n_words
+        bank_on = self._bank_on
+        words_per_bank = self.words_per_bank
+        for addr in addrs:
+            if not 0 <= addr < n_words or not bank_on[addr // words_per_bank]:
+                self._check_powered(addr)
+        self.events.add(Ev.SRAM_READ, len(addrs))
+        return [data[addr] for addr in addrs]
+
+    def write_words(self, addr: int, values) -> None:
+        """Batch of consecutive word writes (bulk event record)."""
+        if values:
+            self._check(addr)
+            self._check(addr + len(values) - 1)
+            first = addr // self.words_per_bank
+            last = (addr + len(values) - 1) // self.words_per_bank
+            for bank in range(first, last + 1):
+                if not self._bank_on[bank]:
+                    self._check_powered(bank * self.words_per_bank)
+        self.events.add(Ev.SRAM_WRITE, len(values))
+        self._data[addr:addr + len(values)] = [
+            to_signed32(v) for v in values
+        ]
+
     # -- debug/test accessors (no events) ----------------------------------------
 
     def peek_words(self, addr: int, count: int) -> list:

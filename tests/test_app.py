@@ -99,3 +99,30 @@ def test_rejects_bad_inputs(signal):
         run_application(signal[:100], "cpu")
     with pytest.raises(Exception):
         run_application(signal, "gpu")
+
+
+def test_multi_window_runner_reuse(signal):
+    """Long-running serving: one runner processes many windows.
+
+    ``run_application`` rewinds the SRAM bump allocator between windows
+    (``KernelRunner.reset_sram``); without it the staging area overflows
+    after a handful of windows.
+    """
+    runner = KernelRunner()
+    labels = [run_application(signal, "cpu_vwr2a", runner).label]
+    watermark = runner._sram_next
+    for _ in range(3):
+        labels.append(run_application(signal, "cpu_vwr2a", runner).label)
+        # The allocator was rewound at each window's start, so the
+        # high-water mark stays at one window's staging footprint.
+        assert runner._sram_next == watermark
+    assert len(set(labels)) == 1
+
+
+def test_reset_sram_rewinds_allocator():
+    runner = KernelRunner()
+    base = runner.sram_alloc(128)
+    assert base == 0
+    assert runner.sram_alloc(64) == 128
+    runner.reset_sram()
+    assert runner.sram_alloc(16) == 0
