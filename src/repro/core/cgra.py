@@ -16,7 +16,6 @@ from repro.core.config_mem import ConfigurationMemory
 from repro.core.dma import Dma
 from repro.core.errors import ConfigurationError
 from repro.core.events import Ev, EventCounters
-from repro.core.hazards import check_program
 from repro.core.spm import Scratchpad
 from repro.core.synchronizer import Synchronizer
 from repro.isa.program import KernelConfig
@@ -30,6 +29,9 @@ class RunResult:
     cycles: int            #: execution cycles (excludes configuration load)
     config_cycles: int     #: cycles spent loading the configuration words
     column_steps: dict     #: per-column executed-bundle counts
+    engine: str = ""       #: engine that actually executed the kernel
+    fallback_reason: str = None   #: why ``auto`` chose the reference path
+    spm_conflicts: tuple = ()     #: SpmConflict records behind the fallback
 
     @property
     def total_cycles(self) -> int:
@@ -39,12 +41,16 @@ class RunResult:
 class Vwr2a:
     """A VWR2A instance: reconfigurable array + memories + DMA.
 
-    ``engine`` selects how kernels execute: ``"compiled"`` (the default)
-    predecodes each program into basic-block micro-op closures at
-    ``load_kernel`` time and batches event accounting (docs/engine.md);
-    ``"reference"`` is the original cycle-by-cycle interpreter
-    (``Column.step``), kept as the golden model. Both produce identical
-    cycle counts and event snapshots.
+    ``engine`` selects how kernels execute: ``"auto"`` (the default) runs
+    the compile-time cross-column SPM analysis at ``load_kernel`` and
+    executes conflict-free kernels on the compiled fast path, falling back
+    to the per-cycle reference interpreter when columns communicate
+    through the SPM mid-kernel (docs/engine.md); ``"compiled"`` forces the
+    fast path (raising :class:`~repro.core.errors.SpmConflictError` on
+    conflicting kernels); ``"reference"`` is the original cycle-by-cycle
+    interpreter (``Column.step``), kept as the golden model. All engines
+    produce identical cycle counts and event snapshots; ``RunResult``
+    records which engine ran and why.
     """
 
     #: Runaway guard for kernel execution.
@@ -56,7 +62,7 @@ class Vwr2a:
         events: EventCounters = None,
         bus=None,
         dma_setup_cycles: int = 24,
-        engine: str = "compiled",
+        engine: str = "auto",
     ) -> None:
         from repro.engine import make_engine
 
@@ -85,17 +91,24 @@ class Vwr2a:
     # -- configuration ------------------------------------------------------
 
     def store_kernel(self, config: KernelConfig) -> None:
-        """Validate (including hazards) and store a kernel configuration."""
-        config.validate(self.params)
-        for program in config.columns.values():
-            check_program(program.bundles)
+        """Validate (including hazards) and store a kernel configuration.
+
+        Encoding and hazard checks are cached structurally in the
+        configuration memory (``config_mem.stats`` exposes the counters),
+        so re-storing a structurally identical kernel — the FFT engines
+        regenerate theirs every launch, and the runner/``execute`` flows
+        historically stored twice — performs zero re-encoding and zero
+        hazard re-checks.
+        """
         self.config_mem.store(config)
 
     def load_kernel(self, name: str) -> int:
         """Copy a stored configuration into the program memories.
 
         Returns the cycle cost (one cycle per configuration word plus one
-        per initial SRF entry, per column).
+        per initial SRF entry, per column). Under the ``auto`` and
+        ``compiled`` engines this is also where the cross-column SPM
+        analysis runs (memoized on the configuration-word fingerprints).
         """
         return self._install(self.config_mem.get(name))
 
@@ -107,6 +120,12 @@ class Vwr2a:
             self.events.add(Ev.CONFIG_WORD, len(program.bundles))
             self.events.add(Ev.SRF_WRITE, len(program.srf_init))
             cycles += cost
+        if self._engine.name != "reference" and len(config.columns) > 1:
+            # Warm the conflict analysis at load time; the engines reuse
+            # the memoized report at launch.
+            from repro.engine.conflicts import analyze_columns
+
+            analyze_columns(config.columns, self.params)
         self.synchronizer.kernel_started(config.name, config.columns.keys())
         return cycles
 
@@ -127,11 +146,15 @@ class Vwr2a:
         active = [self.columns[col] for col in config.columns]
         cycles = self._engine.run_kernel(self, name, active, max_cycles)
         self.synchronizer.kernel_finished(name, cycles, config.columns.keys())
+        info = getattr(self._engine, "last_run_info", None)
         return RunResult(
             name=name,
             cycles=cycles,
             config_cycles=config_cycles,
             column_steps={col.index: col.steps for col in active},
+            engine=info.engine if info else self._engine.name,
+            fallback_reason=info.fallback_reason if info else None,
+            spm_conflicts=tuple(info.conflicts) if info else (),
         )
 
     def execute(self, config: KernelConfig, max_cycles: int = None) -> RunResult:

@@ -72,6 +72,45 @@ class Column:
         for entry, value in program.srf_init.items():
             self.srf.poke(entry, value)
 
+    # -- whole-column architectural state (no events) ----------------------
+
+    def state_snapshot(self) -> dict:
+        """Copy of all architectural state (registers, VWRs, PC, index).
+
+        Paired with :meth:`state_restore`; used by the compiled engine to
+        rewind an aborted launch before replaying it cycle-by-cycle on the
+        reference interpreter (docs/engine.md).
+        """
+        return {
+            "srf": list(self.srf._data),
+            "vwrs": {v: list(vwr._data) for v, vwr in self.vwrs.items()},
+            "rc_regs": [list(regs) for regs in self.rc_regs],
+            "rc_out": list(self.rc_out),
+            "lcu_regs": list(self.lcu_regs),
+            "k": self.k,
+            "pc": self.pc,
+            "done": self.done,
+            "steps": self.steps,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """In-place restore of a :meth:`state_snapshot`.
+
+        All list updates are in place because the compiled engine's block
+        closures capture the backing lists.
+        """
+        self.srf._data[:] = state["srf"]
+        for v, words in state["vwrs"].items():
+            self.vwrs[v]._data[:] = words
+        for regs, saved in zip(self.rc_regs, state["rc_regs"]):
+            regs[:] = saved
+        self.rc_out[:] = state["rc_out"]
+        self.lcu_regs[:] = state["lcu_regs"]
+        self.k = state["k"]
+        self.pc = state["pc"]
+        self.done = state["done"]
+        self.steps = state["steps"]
+
     # -- one cycle ---------------------------------------------------------
 
     def step(self) -> None:

@@ -35,3 +35,25 @@ class AddressError(SimulationError):
 
 class ConfigurationError(SimulationError):
     """Bad kernel configuration (unknown kernel, oversized program...)."""
+
+
+class SpmConflictError(SimulationError):
+    """A kernel's columns communicate through the SPM mid-kernel.
+
+    Raised when the compiled engine is *forced* onto a kernel whose static
+    cross-column SPM analysis found overlapping footprints (the block-
+    granularity scheduler cannot guarantee the reference interleaving).
+    ``engine="auto"`` routes such kernels to the reference interpreter
+    instead of raising. ``conflicts`` holds the offending
+    :class:`repro.engine.conflicts.SpmConflict` records.
+    """
+
+    def __init__(self, kernel: str, conflicts) -> None:
+        detail = "; ".join(str(c) for c in conflicts)
+        super().__init__(
+            f"kernel {kernel!r} has cross-column SPM conflicts that the "
+            f"compiled engine's block-granularity scheduler cannot order "
+            f"({detail}); run it with engine='auto' or engine='reference'"
+        )
+        self.kernel = kernel
+        self.conflicts = tuple(conflicts)

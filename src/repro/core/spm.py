@@ -82,6 +82,26 @@ class Scratchpad:
             to_signed32(v) for v in values
         ]
 
+    # -- whole-memory state (no events) ------------------------------------
+
+    def snapshot(self) -> list:
+        """Copy of the full SPM contents (no event logging).
+
+        Used by the compiled engine to restore pre-launch state before
+        replaying an aborted kernel on the reference interpreter.
+        """
+        return list(self._data)
+
+    def restore(self, state) -> None:
+        """In-place restore of a :meth:`snapshot` (no event logging)."""
+        if len(state) != self.n_words:
+            raise AddressError(
+                f"restore of {len(state)} words into a {self.n_words}-word "
+                f"SPM"
+            )
+        # In-place: the compiled engine's closures capture this list.
+        self._data[:] = state
+
     # -- debug/test accessors (no events) ----------------------------------
 
     def peek_words(self, addr: int, count: int) -> list:

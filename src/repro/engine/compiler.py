@@ -351,8 +351,12 @@ def _leaders(bundles) -> set:
     return leaders
 
 
-def _block_pcs(bundles) -> list:
-    """Partition PCs into basic blocks (leader-to-terminator runs)."""
+def block_pcs(bundles) -> list:
+    """Partition PCs into basic blocks (leader-to-terminator runs).
+
+    Shared by the code generator below and the cross-column SPM analysis
+    (:mod:`repro.engine.conflicts`), so both agree on what a block is.
+    """
     leaders = _leaders(bundles)
     blocks = []
     current = []
@@ -406,7 +410,7 @@ def _compile(bundles, params) -> CompiledProgram:
 
     blocks = []
     sources = []
-    for index, pcs in enumerate(_block_pcs(bundles)):
+    for index, pcs in enumerate(block_pcs(bundles)):
         leader = pcs[0]
         last = bundles[pcs[-1]]
         uses_k = any(bodies[pc].uses_k for pc in pcs)

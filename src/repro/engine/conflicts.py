@@ -1,0 +1,650 @@
+"""Compile-time cross-column SPM access analysis.
+
+The compiled engine's virtual-time scheduler synchronizes columns at
+basic-block granularity, so a kernel in which one column reads SPM
+addresses another column writes *mid-kernel* could observe a different
+interleaving than the per-cycle reference interpreter. This module closes
+that soundness hole statically: at ``load_kernel`` every column program is
+abstractly executed over its configuration words to derive the **footprint**
+of SPM addresses it may read and write, and the footprints of concurrently
+live columns are intersected.
+
+The analysis leans on the same property the static event-delta fold relies
+on (:mod:`repro.engine.deltas`): *which* SPM addresses a kernel touches is
+determined by the configuration words — ``srf_init`` values, ``SET_SRF``
+immediates and post-increment chains — never by the data flowing through
+the datapath. Data-dependent addresses do exist (``LD_SRF`` results or RC
+writes into the SRF used as addresses); those are widened to
+"may touch anything" and the kernel conservatively falls back.
+
+Abstract domain
+---------------
+SRF entries and LCU registers hold either a concrete ``int`` or
+:data:`UNKNOWN`. Execution walks the program concretely over that state:
+
+* straight-line bundles and known branches step one bundle at a time;
+* branches on :data:`UNKNOWN` fork both successors (worklist + visited
+  states, bounded by :data:`MAX_STEPS`);
+* the Table-1 self-loop blocks (the dominant pattern in every kernel) are
+  **accelerated**: one symbolic walk of the block derives each register's
+  per-trip affine delta and each LSU site's address progression, the trip
+  count is solved from the branch in closed form, and the whole loop
+  contributes ``{base + j*stride}`` to the footprint in one step.
+
+Exceeding the step budget marks the column *unbounded* (sound: unbounded
+footprints conflict with everything another column touches). Out-of-range
+addresses end the abstract path, exactly as the ``AddressError`` would end
+the run.
+
+Results are memoized structurally — keyed on the configuration-word
+fingerprint stamped by the configuration memory plus the ``srf_init``
+values — so the per-launch cost of the analysis on regenerated kernels
+(the FFT engines rebuild configs every launch) is a dictionary hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.engine.compiler import block_pcs
+from repro.isa.fields import RCSrcKind
+from repro.isa.lcu import BRANCH_OPS, LCUCmp, LCUOp
+from repro.isa.lsu import LSUOp
+from repro.utils.bits import to_signed32
+from repro.utils.fixed_point import wrap32
+
+#: Abstract "data-dependent value" (any LD_SRF result or RC->SRF write).
+UNKNOWN = object()
+
+#: Abstract-execution budget per column (bundle steps + accelerated loops).
+MAX_STEPS = 40_000
+
+#: Memo caps (structural keys, FIFO eviction — mirrors the compile memo).
+_FOOTPRINT_CAP = 512
+_REPORT_CAP = 512
+
+_FOOTPRINT_MEMO = OrderedDict()
+_REPORT_MEMO = OrderedDict()
+
+#: Analysis cache behaviour, observable by tests and benchmarks.
+ANALYSIS_STATS = {
+    "footprint_hits": 0,
+    "footprint_misses": 0,
+    "report_hits": 0,
+    "report_misses": 0,
+}
+
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+def address_runs(words) -> tuple:
+    """Group a word-address set into inclusive ``(lo, hi)`` runs."""
+    runs = []
+    lo = hi = None
+    for w in sorted(words):
+        if lo is None:
+            lo = hi = w
+        elif w == hi + 1:
+            hi = w
+        else:
+            runs.append((lo, hi))
+            lo = hi = w
+    if lo is not None:
+        runs.append((lo, hi))
+    return tuple(runs)
+
+
+def format_words(words) -> str:
+    """Compact ``[lo..hi]`` run formatting of a word-address set."""
+    if not words:
+        return "(none)"
+    txt = ", ".join(
+        f"[{a}..{b}]" if a != b else f"[{a}]"
+        for a, b in address_runs(words)
+    )
+    return f"words {txt}"
+
+
+@dataclass(frozen=True)
+class ColumnFootprint:
+    """May-touch SPM address sets (word granularity) of one column."""
+
+    reads: frozenset
+    writes: frozenset
+    unbounded_reads: bool = False
+    unbounded_writes: bool = False
+
+    @property
+    def touches_anything(self) -> bool:
+        return bool(
+            self.reads or self.writes
+            or self.unbounded_reads or self.unbounded_writes
+        )
+
+
+@dataclass(frozen=True)
+class SpmConflict:
+    """One cross-column overlap the block scheduler cannot order safely."""
+
+    kind: str        #: ``"write-read"`` or ``"write-write"``
+    writer: int      #: column whose writes overlap
+    other: int       #: column reading (or also writing) the overlap
+    words: tuple     #: sorted overlapping word addresses (() if unbounded)
+    unbounded: bool = False
+
+    def ranges(self) -> tuple:
+        """Overlap as inclusive ``(lo, hi)`` word-address runs."""
+        return address_runs(self.words)
+
+    def describe(self) -> str:
+        if self.unbounded:
+            return (
+                f"column {self.writer}'s SPM footprint cannot be bounded "
+                f"statically and column {self.other} touches the SPM"
+            )
+        verb = "also writes" if self.kind == "write-write" else "reads"
+        return (
+            f"column {self.writer} writes SPM {format_words(self.words)} "
+            f"that column {self.other} {verb}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class ConflictReport:
+    """Outcome of the cross-column analysis for one kernel launch."""
+
+    conflicts: tuple                 #: SpmConflict records (empty == safe)
+    footprints: tuple                #: ((column, ColumnFootprint), ...)
+
+    @property
+    def conflict_free(self) -> bool:
+        return not self.conflicts
+
+    def reason(self) -> str:
+        """One-line fallback reason (``RunResult.fallback_reason``)."""
+        if self.conflict_free:
+            return ""
+        return "; ".join(c.describe() for c in self.conflicts)
+
+
+EMPTY_REPORT = ConflictReport(conflicts=(), footprints=())
+
+
+# ---------------------------------------------------------------------------
+# Abstract interpreter
+# ---------------------------------------------------------------------------
+
+class _FootprintAnalyzer:
+    """Derives one column program's may-touch SPM footprint."""
+
+    def __init__(self, program, params) -> None:
+        self.bundles = tuple(program.bundles)
+        self.params = params
+        self.n_srf = params.srf_entries
+        self.n_lcu = params.lcu_registers
+        self.spm_lines = params.spm_lines
+        self.spm_words = params.spm_words
+        self.line_words = params.line_words
+        self.reads = set()
+        self.writes = set()
+        self.unbounded_reads = False
+        self.unbounded_writes = False
+        # ``Column.load`` applies ``srf_init`` but does NOT reset the other
+        # SRF entries or the LCU registers — they carry whatever a previous
+        # launch left behind. Anything not pinned by this kernel's own
+        # configuration must therefore start as UNKNOWN, or carried-over
+        # state could invalidate the conflict-free proof (and its memo,
+        # which is keyed on the configuration alone). Seed kernels
+        # establish every address register via srf_init / SET_SRF and
+        # every loop counter via SETI before use, so they stay precise.
+        srf0 = [UNKNOWN] * self.n_srf
+        for entry, value in program.srf_init.items():
+            if 0 <= entry < self.n_srf:
+                srf0[entry] = to_signed32(value)
+        self.srf0 = srf0
+        self._loops = {}
+        for pcs in block_pcs(self.bundles):
+            last = self.bundles[pcs[-1]].lcu
+            if last.op in BRANCH_OPS and last.target == pcs[0]:
+                self._loops[pcs[0]] = self._loop_summary(pcs)
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> ColumnFootprint:
+        start = (0, tuple(self.srf0), (UNKNOWN,) * self.n_lcu)
+        worklist = [start]
+        seen = {start}
+        steps = 0
+        while worklist:
+            pc, srf_t, lcu_t = worklist.pop()
+            srf = list(srf_t)
+            lcu = list(lcu_t)
+            steps += 1
+            if steps > MAX_STEPS:
+                self._give_up()
+                break
+            if not 0 <= pc < len(self.bundles):
+                continue  # runtime ProgramError ends the run here
+            summary = self._loops.get(pc)
+            nxt = None
+            if summary is not None:
+                nxt = self._accelerate(summary, srf, lcu)
+            if nxt is None:
+                nxt = self._apply(pc, srf, lcu)
+            kind = nxt[0]
+            if kind == "stop":
+                continue
+            targets = nxt[1:]
+            for target in targets:
+                state = (target, tuple(srf), tuple(lcu))
+                if state not in seen:
+                    seen.add(state)
+                    worklist.append(state)
+        return ColumnFootprint(
+            reads=frozenset(self.reads),
+            writes=frozenset(self.writes),
+            unbounded_reads=self.unbounded_reads,
+            unbounded_writes=self.unbounded_writes,
+        )
+
+    def _give_up(self) -> None:
+        self.unbounded_reads = True
+        self.unbounded_writes = True
+
+    # -- footprint recording ----------------------------------------------
+
+    def _record(self, addr, is_line: bool, is_write: bool) -> bool:
+        """Record one access; False when it would fault (path ends)."""
+        if addr is UNKNOWN:
+            if is_write:
+                self.unbounded_writes = True
+            else:
+                self.unbounded_reads = True
+            return True
+        if is_line:
+            if not 0 <= addr < self.spm_lines:
+                return False
+            words = range(
+                addr * self.line_words, (addr + 1) * self.line_words
+            )
+        else:
+            if not 0 <= addr < self.spm_words:
+                return False
+            words = (addr,)
+        (self.writes if is_write else self.reads).update(words)
+        return True
+
+    # -- one-bundle transfer function -------------------------------------
+
+    def _apply(self, pc: int, srf: list, lcu: list):
+        bundle = self.bundles[pc]
+
+        # RC group: SRF operand faults end the path; SRF writes are
+        # data-dependent values (the address property does not cover them).
+        for instr in bundle.rcs:
+            if instr.is_nop:
+                continue
+            for operand in instr.operands():
+                if operand.kind is RCSrcKind.SRF \
+                        and not 0 <= operand.index < self.n_srf:
+                    return ("stop",)
+            if instr.dst.writes_srf:
+                if not 0 <= instr.dst.index < self.n_srf:
+                    return ("stop",)
+                srf[int(instr.dst.index)] = UNKNOWN
+
+        # LSU: the only unit touching the SPM (Bundle.spm_access is the
+        # shared static description of that access).
+        lsu = bundle.lsu
+        access = bundle.spm_access()
+        if access is not None:
+            granularity, direction, entry, inc = access
+            is_line = granularity == "line"
+            is_write = direction == "write"
+            if not 0 <= entry < self.n_srf:
+                return ("stop",)
+            if not is_line and not 0 <= int(lsu.data) < self.n_srf:
+                return ("stop",)
+            addr = srf[entry]
+            if not self._record(addr, is_line, is_write):
+                return ("stop",)
+            if lsu.op is LSUOp.LD_SRF:
+                srf[int(lsu.data)] = UNKNOWN
+            if inc:
+                srf[entry] = UNKNOWN if addr is UNKNOWN \
+                    else to_signed32(addr + inc)
+        elif lsu.op is LSUOp.SET_SRF:
+            if not 0 <= int(lsu.data) < self.n_srf:
+                return ("stop",)
+            srf[int(lsu.data)] = to_signed32(lsu.value)
+
+        # LCU: register updates and control flow.
+        instr = bundle.lcu
+        op = instr.op
+        if op is LCUOp.SETI:
+            lcu[instr.rd] = wrap32(instr.imm)
+        elif op is LCUOp.ADDI:
+            v = lcu[instr.rd]
+            lcu[instr.rd] = UNKNOWN if v is UNKNOWN \
+                else wrap32(v + instr.imm)
+        elif op is LCUOp.LDSRF:
+            if not 0 <= int(instr.cmp) < self.n_srf:
+                return ("stop",)
+            lcu[instr.rd] = srf[int(instr.cmp)]
+        elif op is LCUOp.JUMP:
+            return ("next", instr.target)
+        elif op is LCUOp.EXIT:
+            return ("stop",)
+        elif op in BRANCH_OPS:
+            lhs = lcu[instr.rd]
+            if instr.cmp_kind is LCUCmp.IMM:
+                rhs = int(instr.cmp)
+            elif instr.cmp_kind is LCUCmp.REG:
+                if not 0 <= int(instr.cmp) < self.n_lcu:
+                    return ("stop",)
+                rhs = lcu[int(instr.cmp)]
+            else:
+                if not 0 <= int(instr.cmp) < self.n_srf:
+                    return ("stop",)
+                rhs = srf[int(instr.cmp)]
+            if lhs is UNKNOWN or rhs is UNKNOWN:
+                return ("next", instr.target, pc + 1)
+            taken = {
+                LCUOp.BLT: lhs < rhs,
+                LCUOp.BGE: lhs >= rhs,
+                LCUOp.BEQ: lhs == rhs,
+                LCUOp.BNE: lhs != rhs,
+            }[op]
+            return ("next", instr.target if taken else pc + 1)
+        return ("next", pc + 1)
+
+    # -- self-loop acceleration --------------------------------------------
+    #
+    # Symbolic per-trip values: ("d", delta)  == trip-start value + delta,
+    #                           ("c", v)      == the constant v,
+    #                           ("u",)        == data-dependent.
+
+    @staticmethod
+    def _sym_add(sym, inc: int):
+        tag = sym[0]
+        if tag == "u":
+            return sym
+        return (tag, sym[1] + inc)
+
+    def _loop_summary(self, pcs):
+        """One symbolic walk of a self-loop block (static, state-free)."""
+        srf_sym = {e: ("d", 0) for e in range(self.n_srf)}
+        lcu_sym = {r: ("d", 0) for r in range(self.n_lcu)}
+        sites = []
+        ok = True
+        for pc in pcs:
+            bundle = self.bundles[pc]
+            for instr in bundle.rcs:
+                if instr.is_nop:
+                    continue
+                for operand in instr.operands():
+                    if operand.kind is RCSrcKind.SRF \
+                            and not 0 <= operand.index < self.n_srf:
+                        ok = False
+                if instr.dst.writes_srf:
+                    if 0 <= instr.dst.index < self.n_srf:
+                        srf_sym[int(instr.dst.index)] = ("u",)
+                    else:
+                        ok = False
+            lsu = bundle.lsu
+            access = bundle.spm_access()
+            if access is not None:
+                granularity, direction, entry, inc = access
+                is_line = granularity == "line"
+                is_write = direction == "write"
+                if not 0 <= entry < self.n_srf or (
+                    not is_line and not 0 <= int(lsu.data) < self.n_srf
+                ):
+                    ok = False
+                    continue
+                sites.append((is_line, is_write, entry, srf_sym[entry]))
+                if lsu.op is LSUOp.LD_SRF:
+                    srf_sym[int(lsu.data)] = ("u",)
+                if inc:
+                    srf_sym[entry] = self._sym_add(srf_sym[entry], inc)
+            elif lsu.op is LSUOp.SET_SRF:
+                if 0 <= int(lsu.data) < self.n_srf:
+                    srf_sym[int(lsu.data)] = ("c", to_signed32(lsu.value))
+                else:
+                    ok = False
+            instr = bundle.lcu
+            if instr.op is LCUOp.SETI:
+                lcu_sym[instr.rd] = ("c", wrap32(instr.imm))
+            elif instr.op is LCUOp.ADDI:
+                lcu_sym[instr.rd] = self._sym_add(
+                    lcu_sym[instr.rd], int(instr.imm)
+                )
+            elif instr.op is LCUOp.LDSRF:
+                # Loop-varying load: conservatively data-dependent.
+                lcu_sym[instr.rd] = ("u",)
+        branch = self.bundles[pcs[-1]].lcu
+        counter = lcu_sym.get(branch.rd, ("u",))
+        if branch.op not in (LCUOp.BLT, LCUOp.BGE) \
+                or counter[0] != "d" or counter[1] == 0:
+            ok = False
+        # The comparison operand must be loop-invariant.
+        if branch.cmp_kind is LCUCmp.REG \
+                and lcu_sym.get(int(branch.cmp)) != ("d", 0):
+            ok = False
+        if branch.cmp_kind is LCUCmp.SRF and (
+            not 0 <= int(branch.cmp) < self.n_srf
+            or srf_sym[int(branch.cmp)] != ("d", 0)
+        ):
+            ok = False
+        return {
+            "ok": ok,
+            "pcs": pcs,
+            "branch": branch,
+            "srf_sym": srf_sym,
+            "lcu_sym": lcu_sym,
+            "sites": sites,
+        }
+
+    def _trip_count(self, summary, srf, lcu):
+        """Closed-form trip count, or None when not statically solvable."""
+        branch = summary["branch"]
+        v0 = lcu[branch.rd]
+        if v0 is UNKNOWN:
+            return None
+        d = summary["lcu_sym"][branch.rd][1]
+        if branch.cmp_kind is LCUCmp.IMM:
+            bound = int(branch.cmp)
+        elif branch.cmp_kind is LCUCmp.REG:
+            bound = lcu[int(branch.cmp)]
+        else:
+            bound = srf[int(branch.cmp)]
+        if bound is UNKNOWN:
+            return None
+        # Counter value after trip t is v0 + t*d; the loop continues while
+        # the branch is taken.
+        if branch.op is LCUOp.BLT:
+            if d <= 0:
+                return None if v0 + d < bound else 1
+            return max(1, -(-(bound - v0) // d))
+        if d >= 0:
+            return None if v0 + d >= bound else 1
+        return max(1, (v0 - bound) // (-d) + 1)
+
+    def _accelerate(self, summary, srf: list, lcu: list):
+        """Fold a whole self-loop run into footprint + post-state."""
+        if not summary["ok"]:
+            return None
+        trips = self._trip_count(summary, srf, lcu)
+        if trips is None:
+            return None
+        for is_line, is_write, entry, sym in summary["sites"]:
+            base = srf[entry]
+            final = summary["srf_sym"][entry]
+            if sym[0] == "u" or base is UNKNOWN or final[0] == "u":
+                if is_write:
+                    self.unbounded_writes = True
+                else:
+                    self.unbounded_reads = True
+                continue
+            if sym[0] == "c":
+                self._record(sym[1], is_line, is_write)
+                continue
+            offset = sym[1]
+            if final[0] == "c":
+                # The entry is reset every trip: the site sees the initial
+                # value once, then the reset value on every later trip.
+                self._record(base + offset, is_line, is_write)
+                if trips > 1:
+                    self._record(final[1] + offset, is_line, is_write)
+                continue
+            stride = final[1]
+            addr = base + offset
+            limit = self.spm_lines if is_line else self.spm_words
+            for _ in range(trips):
+                if not 0 <= addr < limit:
+                    break  # monotone progression left the SPM: faults
+                self._record(addr, is_line, is_write)
+                if stride == 0:
+                    break
+                addr += stride
+        for entry in range(self.n_srf):
+            final = summary["srf_sym"][entry]
+            if final[0] == "u":
+                srf[entry] = UNKNOWN
+            elif final[0] == "c":
+                srf[entry] = final[1]
+            elif final[1] and srf[entry] is not UNKNOWN:
+                srf[entry] = to_signed32(srf[entry] + trips * final[1])
+        for reg in range(self.n_lcu):
+            final = summary["lcu_sym"][reg]
+            if final[0] == "u":
+                lcu[reg] = UNKNOWN
+            elif final[0] == "c":
+                lcu[reg] = final[1]
+            elif final[1] and lcu[reg] is not UNKNOWN:
+                lcu[reg] = wrap32(lcu[reg] + trips * final[1])
+        return ("next", summary["pcs"][-1] + 1)
+
+
+# ---------------------------------------------------------------------------
+# Public API (memoized)
+# ---------------------------------------------------------------------------
+
+def _column_key(program, params):
+    fingerprint = getattr(program, "_fingerprint", None)
+    structure = fingerprint if fingerprint is not None \
+        else tuple(program.bundles)
+    return (params, structure, tuple(sorted(program.srf_init.items())))
+
+
+def column_footprint(program, params) -> ColumnFootprint:
+    """May-touch SPM footprint of one column program (memoized)."""
+    key = _column_key(program, params)
+    footprint = _FOOTPRINT_MEMO.get(key)
+    if footprint is not None:
+        ANALYSIS_STATS["footprint_hits"] += 1
+        _FOOTPRINT_MEMO.move_to_end(key)
+        return footprint
+    ANALYSIS_STATS["footprint_misses"] += 1
+    footprint = _FootprintAnalyzer(program, params).run()
+    _FOOTPRINT_MEMO[key] = footprint
+    if len(_FOOTPRINT_MEMO) > _FOOTPRINT_CAP:
+        _FOOTPRINT_MEMO.popitem(last=False)
+    return footprint
+
+
+def _pair_conflicts(col_a, fp_a, col_b, fp_b):
+    conflicts = []
+    if fp_a.unbounded_writes and fp_b.touches_anything:
+        conflicts.append(SpmConflict(
+            kind="write-read", writer=col_a, other=col_b,
+            words=(), unbounded=True,
+        ))
+    if fp_b.unbounded_writes and fp_a.touches_anything:
+        conflicts.append(SpmConflict(
+            kind="write-read", writer=col_b, other=col_a,
+            words=(), unbounded=True,
+        ))
+    if fp_a.unbounded_reads and (fp_b.writes or fp_b.unbounded_writes):
+        conflicts.append(SpmConflict(
+            kind="write-read", writer=col_b, other=col_a,
+            words=(), unbounded=True,
+        ))
+    if fp_b.unbounded_reads and (fp_a.writes or fp_a.unbounded_writes):
+        conflicts.append(SpmConflict(
+            kind="write-read", writer=col_a, other=col_b,
+            words=(), unbounded=True,
+        ))
+    if conflicts:
+        return conflicts
+    ww = fp_a.writes & fp_b.writes
+    if ww:
+        conflicts.append(SpmConflict(
+            kind="write-write", writer=col_a, other=col_b,
+            words=tuple(sorted(ww)),
+        ))
+    wr = fp_a.writes & fp_b.reads
+    if wr:
+        conflicts.append(SpmConflict(
+            kind="write-read", writer=col_a, other=col_b,
+            words=tuple(sorted(wr)),
+        ))
+    rw = fp_a.reads & fp_b.writes
+    if rw:
+        conflicts.append(SpmConflict(
+            kind="write-read", writer=col_b, other=col_a,
+            words=tuple(sorted(rw)),
+        ))
+    return conflicts
+
+
+def analyze_columns(columns: dict, params) -> ConflictReport:
+    """Cross-column SPM conflict report for one kernel (memoized).
+
+    ``columns`` maps column index to :class:`ColumnProgram`. Kernels using
+    a single column are trivially conflict-free and return instantly.
+    """
+    if len(columns) <= 1:
+        return EMPTY_REPORT
+    key = tuple(
+        (col, _column_key(columns[col], params))
+        for col in sorted(columns)
+    )
+    report = _REPORT_MEMO.get(key)
+    if report is not None:
+        ANALYSIS_STATS["report_hits"] += 1
+        _REPORT_MEMO.move_to_end(key)
+        return report
+    ANALYSIS_STATS["report_misses"] += 1
+    footprints = OrderedDict(
+        (col, column_footprint(columns[col], params))
+        for col in sorted(columns)
+    )
+    conflicts = []
+    for (col_a, fp_a), (col_b, fp_b) in combinations(
+        footprints.items(), 2
+    ):
+        conflicts.extend(_pair_conflicts(col_a, fp_a, col_b, fp_b))
+    report = ConflictReport(
+        conflicts=tuple(conflicts),
+        footprints=tuple(footprints.items()),
+    )
+    _REPORT_MEMO[key] = report
+    if len(_REPORT_MEMO) > _REPORT_CAP:
+        _REPORT_MEMO.popitem(last=False)
+    return report
+
+
+def analyze_active(active, params) -> ConflictReport:
+    """Report for a list of loaded :class:`~repro.core.column.Column`."""
+    return analyze_columns(
+        {col.index: col.program for col in active}, params
+    )

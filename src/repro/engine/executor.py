@@ -16,23 +16,35 @@ Two interchangeable engines drive kernel execution for
 
 Multi-column kernels run under a virtual-time scheduler: the column with
 the smallest cycle count advances by one block. Columns therefore
-synchronize at block (not cycle) granularity; kernels where columns
-communicate through the SPM *inside* a basic block must use the reference
-engine (no seed kernel does — columns partition the SPM by construction;
-``tests/test_engine_equivalence.py`` checks every kernel).
+synchronize at block (not cycle) granularity; the static cross-column SPM
+analysis (:mod:`repro.engine.conflicts`) proves per launch that no column
+writes addresses another column touches, so the relaxed ordering is
+unobservable. Kernels that *do* communicate through the SPM mid-kernel
+raise :class:`~repro.core.errors.SpmConflictError` on the forced compiled
+engine, and are routed to the reference interpreter automatically by
+:class:`AutoEngine` (``engine="auto"``, the default).
+
+Aborted launches (``AddressError`` / ``ProgramError``) are rewound to the
+pre-launch snapshot and replayed cycle-by-cycle on the reference
+interpreter, so events and column state after a fault are bit-identical to
+per-cycle execution — not just block-aligned.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, namedtuple
 from functools import partial
 
 from repro.core.alu import _simd16
-from repro.core.errors import AddressError, ProgramError
+from repro.core.errors import AddressError, ProgramError, SpmConflictError
 from repro.core.shuffle import shuffle
 from repro.engine.compiler import compile_program
+from repro.engine.conflicts import EMPTY_REPORT, analyze_active
 from repro.isa.fields import ShuffleMode, Vwr
 from repro.isa.rc import RCOp
+
+#: Per-launch engine decision, surfaced on ``RunResult`` by ``Vwr2a.run``.
+RunInfo = namedtuple("RunInfo", ["engine", "fallback_reason", "conflicts"])
 
 
 def _budget_error(name: str, max_cycles: int) -> ProgramError:
@@ -58,7 +70,11 @@ class ReferenceEngine:
 
     name = "reference"
 
+    def __init__(self) -> None:
+        self.last_run_info = RunInfo("reference", None, ())
+
     def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
+        self.last_run_info = RunInfo("reference", None, ())
         cycles = 0
         while any(not col.done for col in active):
             if cycles >= max_cycles:
@@ -233,8 +249,30 @@ def _mode_shuffle(mode, slice_words, a, b):
     return shuffle(a, b, mode, slice_words=slice_words)
 
 
+def _snapshot_launch(vwr2a, active) -> tuple:
+    """Pre-launch state of the SPM and the active columns (no events)."""
+    return (
+        vwr2a.spm.snapshot(),
+        [(col, col.state_snapshot()) for col in active],
+    )
+
+
+def _restore_launch(vwr2a, snapshot) -> None:
+    spm_state, column_states = snapshot
+    vwr2a.spm.restore(spm_state)
+    for col, state in column_states:
+        col.state_restore(state)
+
+
 class CompiledEngine:
-    """Compile-once / execute-many engine (the fast path)."""
+    """Compile-once / execute-many engine (the fast path).
+
+    Multi-column kernels are admitted only when the static SPM analysis
+    proves their footprints disjoint; conflicting kernels raise
+    :class:`SpmConflictError` (use ``engine="auto"`` for automatic
+    fallback). Aborted launches replay on the reference interpreter from
+    the pre-launch snapshot, so fault-path events and state are exact.
+    """
 
     name = "compiled"
 
@@ -243,6 +281,7 @@ class CompiledEngine:
 
     def __init__(self) -> None:
         self._bound = {}
+        self.last_run_info = RunInfo("compiled", None, ())
 
     def _bind(self, column) -> BoundColumn:
         compiled = compile_program(column.program, column.params)
@@ -257,7 +296,17 @@ class CompiledEngine:
             per_column.popitem(last=False)
         return bound
 
-    def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
+    def run_kernel(self, vwr2a, name, active, max_cycles,
+                   report=None) -> int:
+        # ``report`` lets AutoEngine hand down its already-verified
+        # analysis instead of re-hashing the memo key per launch.
+        if report is None:
+            report = analyze_active(active, vwr2a.params) \
+                if len(active) > 1 else EMPTY_REPORT
+        if report.conflicts:
+            raise SpmConflictError(name, report.conflicts)
+        self.last_run_info = RunInfo("compiled", None, ())
+        snapshot = _snapshot_launch(vwr2a, active)
         bounds = [self._bind(col) for col in active]
         for bound in bounds:
             bound.begin()
@@ -266,10 +315,26 @@ class CompiledEngine:
                 cycles = bounds[0].run_to_exit(name, max_cycles)
             else:
                 cycles = self._interleave(bounds, name, max_cycles)
+        except (AddressError, ProgramError) as fault:
+            # Aborted kernel: rewind to the pre-launch state and replay on
+            # the per-cycle interpreter. Conflict-free kernels execute
+            # deterministically, so the replay reaches the same fault —
+            # with events and column state accounted cycle by cycle,
+            # including the final partial bundle, exactly like the
+            # reference (docs/engine.md).
+            _restore_launch(vwr2a, snapshot)
+            ReferenceEngine().run_kernel(vwr2a, name, active, max_cycles)
+            # A completed replay means the two engines disagree on whether
+            # the kernel faults at all — an engine bug, never silently
+            # reported as the stale compiled-path exception.
+            raise ProgramError(
+                f"engine divergence on kernel {name!r}: the compiled "
+                f"engine aborted ({fault}) but the reference replay "
+                f"completed; please report"
+            ) from fault
         except BaseException:
-            # Aborted kernels (budget overruns, address faults) still
-            # account the blocks they executed, like the interpreter's
-            # per-cycle logging would have (at block granularity).
+            # Non-simulation aborts (e.g. KeyboardInterrupt) still account
+            # the blocks executed so far, at block granularity.
             for bound in bounds:
                 bound.flush(vwr2a.events)
             raise
@@ -298,3 +363,39 @@ class CompiledEngine:
             if not best.advance(name, max_cycles, horizon):
                 running.remove(best)
         return max(bound.steps for bound in bounds)
+
+
+class AutoEngine:
+    """Conflict-aware engine selection (the default).
+
+    Runs the compile-time cross-column SPM analysis per launch (memoized
+    structurally, so regenerated kernels pay a dictionary hit): kernels
+    proven conflict-free execute on the compiled fast path; kernels whose
+    columns communicate through the SPM mid-kernel fall back to the
+    reference interpreter, bit-identically to ``engine="reference"``. The
+    decision is surfaced on ``RunResult.engine`` /
+    ``RunResult.fallback_reason`` / ``RunResult.spm_conflicts``.
+    """
+
+    name = "auto"
+
+    def __init__(self) -> None:
+        self.compiled = CompiledEngine()
+        self.reference = ReferenceEngine()
+        self.last_run_info = RunInfo("compiled", None, ())
+
+    def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
+        report = analyze_active(active, vwr2a.params) \
+            if len(active) > 1 else EMPTY_REPORT
+        if report.conflicts:
+            self.last_run_info = RunInfo(
+                "reference", report.reason(), report.conflicts
+            )
+            return self.reference.run_kernel(
+                vwr2a, name, active, max_cycles
+            )
+        cycles = self.compiled.run_kernel(
+            vwr2a, name, active, max_cycles, report=report
+        )
+        self.last_run_info = self.compiled.last_run_info
+        return cycles

@@ -13,9 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.lcu import LCU_NOP, LCUInstr
-from repro.isa.lsu import LSU_NOP, LSUInstr
+from repro.isa.lsu import LSU_NOP, LSUInstr, LSUOp
 from repro.isa.mxcu import MXCU_NOP, MXCUInstr
 from repro.isa.rc import RC_NOP, RCInstr
+
+#: LSU op -> (granularity, direction) of its SPM access.
+_SPM_ACCESS = {
+    LSUOp.LD_VWR: ("line", "read"),
+    LSUOp.ST_VWR: ("line", "write"),
+    LSUOp.LD_SRF: ("word", "read"),
+    LSUOp.ST_SRF: ("word", "write"),
+}
 
 
 @dataclass(frozen=True)
@@ -49,6 +57,25 @@ class Bundle:
         from repro.engine.deltas import bundle_event_delta
 
         return bundle_event_delta(self, params)
+
+    def spm_access(self):
+        """Footprint hook: the bundle's static SPM access shape, or None.
+
+        Returns ``(granularity, direction, addr_entry, post_inc)`` —
+        granularity ``"line"``/``"word"``, direction ``"read"``/
+        ``"write"``, the SRF entry holding the address and the
+        post-increment applied to it. *Which* addresses a kernel touches
+        is fixed by the configuration words (same property as
+        :meth:`event_delta`); the cross-column SPM analysis
+        (:mod:`repro.engine.conflicts`) folds these shapes over the
+        program's control flow.
+        """
+        access = _SPM_ACCESS.get(self.lsu.op)
+        if access is None:
+            return None
+        granularity, direction = access
+        return (granularity, direction, int(self.lsu.addr),
+                int(self.lsu.inc))
 
     def __str__(self) -> str:
         rc_txt = " | ".join(str(rc) for rc in self.rcs)

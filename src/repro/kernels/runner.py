@@ -111,10 +111,23 @@ class KernelRunner:
     # -- kernel launch -----------------------------------------------------------
 
     def store(self, config) -> None:
+        """Store a kernel configuration (structurally cached).
+
+        Encoding and hazard checks are memoized on the bundle sequence in
+        the configuration memory, and a byte-identical re-store (the
+        historical double-store flow of ``store`` + ``Vwr2a.execute``) is
+        deduplicated outright — see ``soc.vwr2a.config_mem.stats``.
+        """
         self.soc.vwr2a.store_kernel(config)
 
     def launch(self, name: str, max_cycles: int = None):
-        """Run a stored kernel; returns the simulator's RunResult."""
+        """Run a stored kernel; returns the simulator's RunResult.
+
+        Configuration cycles are charged exactly once per launch (by
+        ``Vwr2a.run``'s single install), however many times the kernel
+        was stored beforehand; ``RunResult.engine`` records whether the
+        launch ran compiled or fell back to the reference interpreter.
+        """
         return self.soc.run_vwr2a_kernel(name, max_cycles=max_cycles)
 
     def execute(self, config, max_cycles: int = None):

@@ -31,7 +31,7 @@ class BiosignalSoC:
         self,
         params: ArchParams = DEFAULT_PARAMS,
         soc_params: SocParams = DEFAULT_SOC_PARAMS,
-        engine: str = "compiled",
+        engine: str = "auto",
     ) -> None:
         self.params = params
         self.soc_params = soc_params

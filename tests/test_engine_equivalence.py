@@ -344,7 +344,8 @@ class TestEngineSemantics:
             sim.run("noexit", max_cycles=100)
 
     def test_engine_selection(self):
-        assert Vwr2a().engine == "compiled"
+        assert Vwr2a().engine == "auto"
+        assert Vwr2a(engine="compiled").engine == "compiled"
         assert Vwr2a(engine="reference").engine == "reference"
         with pytest.raises(ConfigurationError, match="unknown engine"):
             Vwr2a(engine="turbo")
@@ -354,7 +355,7 @@ class TestEngineSemantics:
             )
 
     def test_compiled_programs_are_memoized_structurally(self):
-        sim = Vwr2a()
+        sim = Vwr2a(engine="compiled")
         run1 = sim.execute(_asymmetric_config(sim.params))
         # A fresh, structurally identical config (new objects, same code)
         # must reuse the compiled form via the fingerprint memo.
@@ -372,7 +373,7 @@ class TestEngineSemantics:
         assert run2.cycles == run1.cycles
 
     def test_pc_histogram_matches_column_steps(self):
-        sim = Vwr2a()
+        sim = Vwr2a(engine="compiled")
         config = _asymmetric_config(sim.params)
         result = sim.execute(config)
         engine = sim._engine

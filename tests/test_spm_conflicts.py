@@ -1,0 +1,501 @@
+"""Compile-time SPM-conflict analysis, auto engine selection, store cache.
+
+Covers the soundness hole closed on top of the compiled engine: kernels
+whose columns communicate through the SPM mid-kernel must never run on the
+block-granularity scheduler. ``engine="auto"`` (the default) proves seed
+kernels conflict-free and keeps them compiled, routes conflicting kernels
+to the reference interpreter bit-identically, and forcing
+``engine="compiled"`` on a conflicting kernel raises a diagnostic naming
+the columns and address ranges. Aborted runs (address faults, budget
+overruns) replay cycle-by-cycle so events and column state match the
+interpreter exactly. ``store_kernel`` caches encoding and hazard checks
+structurally, so re-storing identical kernels is free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import DEFAULT_PARAMS
+from repro.asm.builder import ProgramBuilder
+from repro.baselines import lowpass_taps_q15
+from repro.core.cgra import Vwr2a
+from repro.core.errors import AddressError, ProgramError, SpmConflictError
+from repro.engine import conflicts
+from repro.isa.fields import DST_VWR_B, VWR_A, Vwr, imm
+from repro.isa.lcu import addi, blt, seti
+from repro.isa.lsu import ld_srf, ld_vwr, st_srf, st_vwr
+from repro.isa.program import KernelConfig
+from repro.isa.rc import RCOp, rc
+from repro.kernels import KernelRunner, run_intervals
+from repro.kernels.fir import build_fir_kernel, plan_fir
+from repro.kernels.vector import elementwise_kernel
+
+LINE_WORDS = DEFAULT_PARAMS.line_words
+
+
+def _producer_consumer(tag: str = "") -> KernelConfig:
+    """Column 0 writes SPM line 2 that column 1 reads mid-kernel."""
+    b0 = ProgramBuilder(n_rcs=4)
+    b0.srf(0, 0)
+    b0.srf(1, 2)
+    b0.emit(lsu=ld_vwr(Vwr.A, 0))
+    b0.emit(rcs=[rc(RCOp.SADD, DST_VWR_B, VWR_A, imm(1))] * 4)
+    b0.emit(lsu=st_vwr(Vwr.B, 1))
+    b0.exit()
+    b1 = ProgramBuilder(n_rcs=4)
+    b1.srf(0, 2)
+    b1.srf(1, 3)
+    b1.emit(lcu=seti(0, 0))
+    b1.label("wait")
+    b1.emit(lcu=addi(0, 1))
+    b1.emit(lcu=blt(0, 20, "wait"))
+    b1.emit(lsu=ld_vwr(Vwr.A, 0))
+    b1.emit(lsu=st_vwr(Vwr.A, 1))
+    b1.exit()
+    return KernelConfig(
+        name=f"prodcons{tag}", columns={0: b0.build(), 1: b1.build()}
+    )
+
+
+def _faulting_config() -> KernelConfig:
+    """Walks ST_VWR off the end of the SPM mid-loop -> AddressError."""
+    b = ProgramBuilder(n_rcs=4)
+    b.srf(0, DEFAULT_PARAMS.spm_lines - 4)
+    b.emit(lcu=seti(0, 0))
+    b.label("l")
+    b.emit(
+        rcs=[rc(RCOp.SADD, DST_VWR_B, VWR_A, imm(7))] * 4, lcu=addi(0, 1)
+    )
+    b.emit(lsu=st_vwr(Vwr.B, 0, inc=1), lcu=blt(0, 40, "l"))
+    b.exit()
+    return KernelConfig(name="walk_off_spm", columns={0: b.build()})
+
+
+def _full_state(sim: Vwr2a, col_index: int = 0) -> dict:
+    col = sim.columns[col_index]
+    return {
+        "events": sim.events.snapshot(),
+        "spm": sim.spm.peek_words(0, sim.params.spm_words),
+        "vwrs": {v: col.vwr_words(v) for v in col.vwrs},
+        "srf": [col.srf.peek(e)
+                for e in range(sim.params.srf_entries)],
+        "rc_regs": col.rc_regs,
+        "rc_out": col.rc_out,
+        "lcu_regs": col.lcu_regs,
+        "k": col.k,
+        "pc": col.pc,
+        "steps": col.steps,
+        "done": col.done,
+    }
+
+
+class TestAutoSelection:
+    def test_conflict_free_seed_kernels_stay_compiled(self):
+        sim = Vwr2a()
+        assert sim.engine == "auto"
+        result = sim.execute(
+            elementwise_kernel(sim.params, RCOp.SADD, 512, 0, 4, 8)
+        )
+        assert result.engine == "compiled"
+        assert result.fallback_reason is None
+        assert result.spm_conflicts == ()
+
+        taps = lowpass_taps_q15(11, 0.1)
+        layout = plan_fir(sim.params, 256, 11)
+        fir = build_fir_kernel(
+            sim.params, taps, layout, 16, 16 + layout.n_lines
+        )
+        assert sim.execute(fir).engine == "compiled"
+
+    def test_intervals_kernel_stays_compiled_on_auto_runner(self):
+        runner = KernelRunner()  # auto by default
+        hi = 4096
+        runner.stage_in([3, 20, 41, 60], hi)
+        runner.stage_in([1, 11, 33, 52], hi + 8)
+        seen = []
+        vwr2a = runner.soc.vwr2a
+        original = vwr2a.run
+
+        def spy(name, max_cycles=None):
+            result = original(name, max_cycles=max_cycles)
+            seen.append(result.engine)
+            return result
+
+        vwr2a.run = spy
+        run_intervals(
+            runner,
+            insp_spec=(hi, hi + 8, hi + 16, 3),
+            exp_spec=(hi + 8 + 1, hi, hi + 24, 3),
+        )
+        assert seen == ["compiled"]
+
+    def test_conflicting_kernel_falls_back_to_reference(self):
+        sim = Vwr2a()
+        result = sim.execute(_producer_consumer())
+        assert result.engine == "reference"
+        assert "column 0" in result.fallback_reason
+        assert "column 1" in result.fallback_reason
+        assert len(result.spm_conflicts) == 1
+        conflict = result.spm_conflicts[0]
+        assert conflict.kind == "write-read"
+        assert conflict.writer == 0 and conflict.other == 1
+        # Line 2: one full line of overlapping words.
+        assert conflict.ranges() == ((2 * LINE_WORDS, 3 * LINE_WORDS - 1),)
+
+    def test_auto_fallback_is_bit_identical_to_reference(self):
+        states = {}
+        for engine in ("reference", "auto"):
+            sim = Vwr2a(engine=engine)
+            sim.spm.poke_words(0, [(i * 31) % 907 for i in range(512)])
+            result = sim.execute(_producer_consumer())
+            states[engine] = (
+                result.cycles,
+                result.config_cycles,
+                result.column_steps,
+                _full_state(sim, 0),
+                _full_state(sim, 1),
+            )
+        assert states["reference"] == states["auto"]
+
+    def test_word_granular_communication_falls_back_bit_identically(self):
+        # Adversarial: col0 streams words into [100..111] with ST_SRF
+        # post-increment while col1 reads the same window with LD_SRF and
+        # accumulates elsewhere — mid-kernel word-granular communication.
+        def config():
+            b0 = ProgramBuilder(n_rcs=4)
+            b0.srf(0, 100)  # destination walker
+            b0.emit(lsu=st_srf(1, 0, inc=1), lcu=seti(0, 0))
+            b0.label("p")
+            b0.emit(lcu=addi(0, 1))
+            b0.emit(lsu=st_srf(1, 0, inc=1), lcu=blt(0, 11, "p"))
+            b0.exit()
+            b1 = ProgramBuilder(n_rcs=4)
+            b1.srf(0, 100)  # source walker over col0's window
+            b1.srf(2, 200)  # private output
+            b1.emit(lcu=seti(0, 0))
+            b1.label("c")
+            b1.emit(lsu=ld_srf(1, 0, inc=1), lcu=addi(0, 1))
+            b1.emit(lsu=st_srf(1, 2, inc=1), lcu=blt(0, 12, "c"))
+            b1.exit()
+            return KernelConfig(
+                name="word_stream", columns={0: b0.build(), 1: b1.build()}
+            )
+
+        states = {}
+        for engine in ("reference", "auto"):
+            sim = Vwr2a(engine=engine)
+            sim.spm.poke_words(0, [(i * 17) % 513 for i in range(256)])
+            result = sim.execute(config())
+            if engine == "auto":
+                assert result.engine == "reference"
+                overlap = set()
+                for conflict in result.spm_conflicts:
+                    overlap.update(conflict.words)
+                assert overlap == set(range(100, 112))
+            states[engine] = (
+                result.cycles,
+                result.column_steps,
+                _full_state(sim, 0),
+                _full_state(sim, 1),
+            )
+        assert states["reference"] == states["auto"]
+
+    def test_forced_compiled_raises_named_diagnostic(self):
+        sim = Vwr2a(engine="compiled")
+        with pytest.raises(SpmConflictError) as excinfo:
+            sim.execute(_producer_consumer())
+        message = str(excinfo.value)
+        assert "column 0" in message and "column 1" in message
+        assert f"[{2 * LINE_WORDS}..{3 * LINE_WORDS - 1}]" in message
+        assert excinfo.value.conflicts[0].words[0] == 2 * LINE_WORDS
+        # The refused launch must not have executed a single cycle.
+        assert all(col.steps == 0 for col in sim.columns)
+        assert sim.spm.peek_words(0, 4 * LINE_WORDS) \
+            == [0] * (4 * LINE_WORDS)
+
+    def test_write_write_overlap_is_a_conflict(self):
+        columns = {}
+        for col in (0, 1):
+            b = ProgramBuilder(n_rcs=4)
+            b.srf(0, 5)  # both columns store line 5
+            b.emit(lsu=st_vwr(Vwr.A, 0))
+            b.exit()
+            columns[col] = b.build()
+        report = conflicts.analyze_columns(columns, DEFAULT_PARAMS)
+        assert not report.conflict_free
+        assert report.conflicts[0].kind == "write-write"
+
+    def test_shared_reads_are_not_a_conflict(self):
+        columns = {}
+        for col in (0, 1):
+            b = ProgramBuilder(n_rcs=4)
+            b.srf(0, 1)       # both columns read line 1
+            b.srf(1, 8 + col)  # disjoint writes
+            b.emit(lsu=ld_vwr(Vwr.A, 0))
+            b.emit(lsu=st_vwr(Vwr.A, 1))
+            b.exit()
+            columns[col] = b.build()
+        report = conflicts.analyze_columns(columns, DEFAULT_PARAMS)
+        assert report.conflict_free
+
+    def test_data_dependent_address_widens_to_unbounded(self):
+        # Column 0's store address is loaded from the SPM (data-dependent):
+        # the analysis must widen it and conservatively fall back.
+        b0 = ProgramBuilder(n_rcs=4)
+        b0.srf(0, 0)
+        b0.emit(lsu=ld_srf(1, 0))       # SRF1 <- SPM[SRF0]: unknown
+        b0.emit(lsu=st_vwr(Vwr.A, 1))   # store at unknown line
+        b0.exit()
+        b1 = ProgramBuilder(n_rcs=4)
+        b1.srf(0, 40)
+        b1.emit(lsu=ld_vwr(Vwr.A, 0))
+        b1.exit()
+        columns = {0: b0.build(), 1: b1.build()}
+        report = conflicts.analyze_columns(columns, DEFAULT_PARAMS)
+        assert not report.conflict_free
+        assert report.conflicts[0].unbounded
+        footprints = dict(report.footprints)
+        assert footprints[0].unbounded_writes
+
+    def test_carried_over_srf_state_is_not_assumed_zero(self):
+        # Column.load() does not reset SRF entries outside srf_init (or
+        # the LCU registers); a kernel addressing the SPM through an
+        # uninitialized entry inherits whatever the previous launch left
+        # behind, so the analysis must treat it as unbounded — never
+        # "proven conflict-free" with an assumed value.
+        b0 = ProgramBuilder(n_rcs=4)
+        # No srf_init for entry 5: the store address is carried-over state.
+        b0.emit(lsu=st_vwr(Vwr.A, 5))
+        b0.exit()
+        b1 = ProgramBuilder(n_rcs=4)
+        b1.srf(0, 2)
+        b1.emit(lcu=seti(0, 0))
+        b1.label("w")
+        b1.emit(lcu=addi(0, 1))
+        b1.emit(lcu=blt(0, 20, "w"))
+        b1.emit(lsu=ld_vwr(Vwr.A, 0))
+        b1.exit()
+        columns = {0: b0.build(), 1: b1.build()}
+        report = conflicts.analyze_columns(columns, DEFAULT_PARAMS)
+        assert not report.conflict_free
+        assert dict(report.footprints)[0].unbounded_writes
+        # End to end: a previous launch plants SRF[5] = 2 in column 0,
+        # aiming the "uninitialized" store at the line column 1 reads.
+        sim = Vwr2a()
+        plant = ProgramBuilder(n_rcs=4)
+        plant.srf(6, 1000)
+        plant.emit(lsu=ld_srf(5, 6))  # SRF[5] <- SPM[1000]
+        plant.exit()
+        sim.spm.poke_words(1000, [2])
+        sim.execute(KernelConfig(name="plant", columns={0: plant.build()}))
+        result = sim.execute(
+            KernelConfig(name="stale", columns=columns)
+        )
+        assert result.engine == "reference"
+
+    def test_uninitialized_loop_counter_is_not_assumed_zero(self):
+        # The branch counter is never SETI'd: its start value carries over
+        # from the previous launch, so the trip count (and therefore the
+        # store footprint) cannot be bounded statically.
+        b0 = ProgramBuilder(n_rcs=4)
+        b0.srf(0, 10)
+        b0.label("l")
+        b0.emit(lsu=st_srf(1, 0, inc=1), lcu=addi(0, 1))
+        b0.emit(lcu=blt(0, 4, "l"))
+        b0.exit()
+        footprint = b0.build().spm_footprint(DEFAULT_PARAMS)
+        # Any carry-in counter value is possible, so every word the
+        # post-increment walker can reach must be in the footprint — not
+        # just the 5 words a zero-seeded counter would visit.
+        assert footprint.unbounded_writes or {10, 500, 8191} \
+            <= set(footprint.writes)
+
+    def test_footprint_hooks_on_isa_types(self):
+        config = elementwise_kernel(DEFAULT_PARAMS, RCOp.SMUL, 256, 0, 2, 4)
+        report = config.spm_conflicts(DEFAULT_PARAMS)
+        assert report.conflict_free
+        footprint = config.columns[0].spm_footprint(DEFAULT_PARAMS)
+        assert footprint.reads and footprint.writes
+        assert not footprint.unbounded_reads
+        bundle = config.columns[0].bundles[1]  # LD_VWR inside the loop
+        access = bundle.spm_access()
+        assert access is not None and access[0] == "line"
+
+
+class TestAnalysisCaching:
+    def test_regenerated_kernels_hit_the_report_memo(self):
+        sim = Vwr2a()
+        config = elementwise_kernel(sim.params, RCOp.SSUB, 512, 0, 4, 8)
+        sim.execute(config)
+        before = dict(conflicts.ANALYSIS_STATS)
+        # A structurally identical, freshly generated config: the analysis
+        # must be a dictionary hit, with zero new footprint computations.
+        sim.execute(elementwise_kernel(sim.params, RCOp.SSUB, 512, 0, 4, 8))
+        after = conflicts.ANALYSIS_STATS
+        assert after["footprint_misses"] == before["footprint_misses"]
+        assert after["report_misses"] == before["report_misses"]
+        assert after["report_hits"] > before["report_hits"]
+
+    def test_repeated_load_kernel_does_not_reanalyze(self):
+        sim = Vwr2a()
+        config = elementwise_kernel(sim.params, RCOp.SADD, 256, 0, 2, 4)
+        sim.store_kernel(config)
+        sim.load_kernel(config.name)
+        before = dict(conflicts.ANALYSIS_STATS)
+        for _ in range(3):
+            sim.load_kernel(config.name)
+        assert conflicts.ANALYSIS_STATS["footprint_misses"] \
+            == before["footprint_misses"]
+        assert conflicts.ANALYSIS_STATS["report_misses"] \
+            == before["report_misses"]
+
+
+class TestAbortAccounting:
+    """docs/engine.md caveat closed: aborted runs fold cycle-by-cycle."""
+
+    @pytest.mark.parametrize("engine", ("compiled", "auto"))
+    def test_address_fault_matches_reference_exactly(self, engine):
+        states = {}
+        for name in ("reference", engine):
+            sim = Vwr2a(engine=name)
+            sim.spm.poke_words(0, [i % 1000 for i in range(512)])
+            with pytest.raises(AddressError) as excinfo:
+                sim.execute(_faulting_config())
+            states[name] = (str(excinfo.value), _full_state(sim))
+        assert states["reference"] == states[engine]
+
+    def test_budget_overrun_matches_reference_mid_block(self):
+        # max_cycles falls inside a block: the reference interpreter stops
+        # mid-block; the compiled engine must replay to the same point.
+        states = {}
+        for engine in ("reference", "compiled"):
+            sim = Vwr2a(engine=engine)
+            b = ProgramBuilder(n_rcs=4)
+            b.emit(lcu=seti(0, 0))
+            b.label("s")
+            b.emit(lcu=addi(0, 1))
+            b.emit(lcu=blt(0, 60000, "s"))
+            b.exit()
+            sim.store_kernel(
+                KernelConfig(name="spin", columns={0: b.build()})
+            )
+            with pytest.raises(ProgramError, match="exceeded 101 cycles"):
+                sim.run("spin", max_cycles=101)
+            states[engine] = _full_state(sim)
+        assert states["reference"] == states["compiled"]
+
+    def test_multi_column_fault_matches_reference(self):
+        # Column 0 faults while column 1 is still looping; the replay must
+        # reproduce the interpreter's lock-step partial progress of both.
+        def config():
+            b0 = ProgramBuilder(n_rcs=4)
+            b0.srf(0, DEFAULT_PARAMS.spm_lines - 2)
+            b0.emit(lcu=seti(0, 0))
+            b0.label("l")
+            b0.emit(lsu=st_vwr(Vwr.B, 0, inc=1), lcu=addi(0, 1))
+            b0.emit(lcu=blt(0, 30, "l"))
+            b0.exit()
+            b1 = ProgramBuilder(n_rcs=4)
+            b1.srf(0, 4)
+            b1.emit(lcu=seti(0, 0))
+            b1.label("m")
+            b1.emit(
+                rcs=[rc(RCOp.SADD, DST_VWR_B, VWR_A, imm(3))] * 4,
+                lcu=addi(0, 1),
+            )
+            b1.emit(lcu=blt(0, 200, "m"))
+            b1.exit()
+            return KernelConfig(
+                name="fault2col", columns={0: b0.build(), 1: b1.build()}
+            )
+
+        states = {}
+        for engine in ("reference", "compiled"):
+            sim = Vwr2a(engine=engine)
+            with pytest.raises(AddressError) as excinfo:
+                sim.execute(config())
+            states[engine] = (
+                str(excinfo.value),
+                _full_state(sim, 0),
+                _full_state(sim, 1),
+            )
+        assert states["reference"] == states["compiled"]
+
+
+class TestStoreCache:
+    def test_repeated_store_skips_encode_and_hazard_checks(self):
+        sim = Vwr2a()
+        config = elementwise_kernel(
+            sim.params, RCOp.SMAX, 256, 1, 3, 5, name="cache_probe"
+        )
+        sim.store_kernel(config)
+        stats = sim.config_mem.stats
+        encode_misses = stats.encode_misses
+        hazard_misses = stats.hazard_misses
+        # Regenerated identical kernel (fresh objects, same code): zero
+        # re-encoding, zero hazard re-checks.
+        regenerated = elementwise_kernel(
+            sim.params, RCOp.SMAX, 256, 1, 3, 5, name="cache_probe"
+        )
+        sim.store_kernel(regenerated)
+        assert stats.encode_misses == encode_misses
+        assert stats.hazard_misses == hazard_misses
+        assert stats.dedup_hits >= 1
+        # The fresh programs still get fingerprints for the compile memo.
+        for program in regenerated.columns.values():
+            assert program._fingerprint is not None
+
+    def test_same_code_different_srf_init_reencodes_nothing(self):
+        sim = Vwr2a()
+        taps = lowpass_taps_q15(11, 0.1)
+        layout = plan_fir(sim.params, 256, 11)
+        sim.store_kernel(
+            build_fir_kernel(sim.params, taps, layout, 0, layout.n_lines)
+        )
+        stats = sim.config_mem.stats
+        encode_misses = stats.encode_misses
+        hazard_misses = stats.hazard_misses
+        encode_hits = stats.encode_hits
+        # Same bundles, different baked addresses: not a dedup hit (the
+        # stored kernel must change), but encode + hazards still cache.
+        second = build_fir_kernel(
+            sim.params, taps, layout, 8, 8 + layout.n_lines
+        )
+        sim.store_kernel(second)
+        assert stats.encode_misses == encode_misses
+        assert stats.hazard_misses == hazard_misses
+        assert stats.encode_hits == encode_hits + len(second.columns)
+
+    def test_double_store_charges_config_cycles_once_per_launch(self):
+        # The historical double-store flow: runner.store + Vwr2a.execute
+        # both store; the launch must charge the configuration load once.
+        runner = KernelRunner()
+        vwr2a = runner.soc.vwr2a
+        config = elementwise_kernel(
+            vwr2a.params, RCOp.SADD, 256, 0, 2, 4, name="double_store"
+        )
+        runner.store(config)
+        snapshot = runner.events_snapshot()
+        result = vwr2a.execute(config)  # second store + launch
+        assert vwr2a.config_mem.stats.dedup_hits >= 1
+        expected = config.load_cycles(vwr2a.params)
+        assert result.config_cycles == expected
+        diff = runner.events_since(snapshot)
+        total_words = sum(
+            len(p.bundles) for p in config.columns.values()
+        )
+        # CONFIG_WORD events tick exactly once per configuration word of
+        # exactly one install.
+        assert diff.get("config.word", 0) == total_words
+
+    def test_store_then_launch_ledger_charges_once(self):
+        runner = KernelRunner()
+        config = elementwise_kernel(
+            runner.soc.params, RCOp.SSUB, 256, 0, 2, 4, name="ledger"
+        )
+        runner.store(config)
+        runner.store(config)  # idempotent re-store
+        result = runner.launch(config.name)
+        assert result.config_cycles \
+            == config.load_cycles(runner.soc.params)
