@@ -16,16 +16,7 @@ from repro.app import (
 )
 from repro.energy import default_model
 from repro.kernels import KernelRunner
-
-def step_energy_uj(model, config, step):
-    vwr2a = (
-        model.vwr2a_report(step.events, step.cycles).total_uj
-        if config == "cpu_vwr2a" else 0.0
-    )
-    accel = model.accel_report(step.events, 0).total_uj
-    cpu = (step.cpu_active * model.table.cpu_pj_per_cycle
-           + step.cpu_sleep * model.table.cpu_sleep_pj_per_cycle) * 1e-6
-    return vwr2a + accel + cpu
+from repro.serve import step_energy_uj
 
 def main() -> None:
     model = default_model()

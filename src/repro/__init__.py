@@ -9,6 +9,8 @@ Public entry points:
 * ``repro.soc`` — the host SoC substrate (CPU model, bus, FFT accelerator).
 * ``repro.energy`` — the calibrated activity-based energy model.
 * ``repro.app`` — the MBioTracker application of the paper's Table 5.
+* ``repro.serve`` — batched window-stream serving and parameter sweeps
+  for long traces on top of the fast engine (docs/serving.md).
 """
 
 from repro.arch import DEFAULT_PARAMS, DEFAULT_SOC_PARAMS, ArchParams, SocParams

@@ -5,9 +5,11 @@ from repro.app.mbiotracker import (
     CONFIGS,
     DELINEATION_THRESHOLD,
     WINDOW,
+    AppParams,
     AppResult,
     StepResult,
     run_application,
+    window_pipeline,
 )
 from repro.app.signals import (
     RespirationConfig,
@@ -21,9 +23,11 @@ __all__ = [
     "CONFIGS",
     "DELINEATION_THRESHOLD",
     "WINDOW",
+    "AppParams",
     "AppResult",
     "StepResult",
     "run_application",
+    "window_pipeline",
     "RespirationConfig",
     "high_workload_config",
     "low_workload_config",

@@ -17,6 +17,13 @@ SVM prediction — executed in the paper's three configurations:
 
 Every step records cycles and an event window, so the Table 5 energy
 column falls out of the calibrated energy model.
+
+The per-window pipeline is exposed to the serving layer
+(:mod:`repro.serve`) through :func:`window_pipeline`;
+:func:`run_application` is a thin single-window client of the stream
+scheduler and keeps its historical signature and bit-identical results.
+Application parameters that the sweeps vary (filter taps, delineation
+threshold, spectral feature bands) live in :class:`AppParams`.
 """
 
 from __future__ import annotations
@@ -60,6 +67,23 @@ BANDS = ((1, 8), (8, 24), (24, 64), (64, 256))
 CONFIGS = ("cpu", "cpu_fft_accel", "cpu_vwr2a")
 
 
+@dataclass(frozen=True)
+class AppParams:
+    """Tunable application parameters (the sweep axes of ``repro.serve``).
+
+    The defaults reproduce the paper's pipeline exactly; a
+    :class:`~repro.serve.ParameterSweep` runs the same trace under many
+    variants (shorter filters, different spectral feature bands, other
+    delineation thresholds) on one shared runner. The FFT size is tied to
+    :data:`WINDOW` and is not a free parameter.
+    """
+
+    fir_taps: int = FIR_TAPS
+    fir_cutoff: float = FIR_CUTOFF
+    delineation_threshold: int = DELINEATION_THRESHOLD
+    bands: tuple = BANDS
+
+
 @dataclass
 class StepResult:
     """Cycles + activity window of one application step."""
@@ -97,24 +121,6 @@ def _epilogue_cycles(n_insp: int, n_exp: int) -> int:
     return int(round(FEAT_SORT_STEP * sort_steps + FEAT_EPILOGUE * 8))
 
 
-def _cpu_features(filtered, taps_spectrum=None):
-    """Shared functional feature path of the two CPU configurations."""
-    delineation = delineate(filtered, DELINEATION_THRESHOLD)
-    spectrum = rfft_q15(filtered)
-    bands = [
-        band_power(spectrum.re[:257], spectrum.im[:257], lo, hi)
-        for lo, hi in BANDS
-    ]
-    features = _assemble_features(
-        delineation.insp_times, delineation.exp_times, bands
-    )
-    feature_cycles = extract_features(
-        delineation.insp_times, delineation.exp_times,
-        spectrum.re[:257], spectrum.im[:257],
-    ).cycles
-    return delineation, spectrum, features, feature_cycles
-
-
 def _assemble_features(insp, exp, bands) -> list:
     """11-entry feature vector; ``bands`` already path-normalized to the
     common scale (spectrum power >> 24)."""
@@ -127,7 +133,8 @@ def _assemble_features(insp, exp, bands) -> list:
 
 
 def run_application(samples, config: str, runner: KernelRunner = None,
-                    reset_sram: bool = True) -> AppResult:
+                    reset_sram: bool = True,
+                    params: AppParams = None) -> AppResult:
     """Run one MBioTracker window in the given configuration.
 
     A caller-provided ``runner`` is reused across windows: by default its
@@ -135,6 +142,11 @@ def run_application(samples, config: str, runner: KernelRunner = None,
     without the rewind a few windows overflow the SRAM). Pass
     ``reset_sram=False`` if you keep your own SRAM-resident buffers
     allocated through that runner and manage the allocator yourself.
+    ``params`` overrides the pipeline's tunables (:class:`AppParams`).
+
+    This is a thin single-window client of the stream API: multi-window
+    traces are better served through :func:`repro.serve.serve_trace`,
+    which amortizes kernel stores and double-buffers the staging area.
     """
     if len(samples) != WINDOW:
         raise ConfigurationError(
@@ -144,11 +156,47 @@ def run_application(samples, config: str, runner: KernelRunner = None,
         raise ConfigurationError(
             f"unknown configuration {config!r} (choose from {CONFIGS})"
         )
-    if runner is None:
-        runner = KernelRunner()
-    elif reset_sram:
-        runner.reset_sram()
-    taps = lowpass_taps_q15(FIR_TAPS, FIR_CUTOFF)
+    from repro.serve import StreamScheduler, WindowStream
+
+    scheduler = StreamScheduler(
+        config=config, params=params, runner=runner,
+        reset_sram=reset_sram, double_buffer=False,
+    )
+    report = scheduler.run(WindowStream(samples, window=WINDOW))
+    return report.windows[0].app
+
+
+def window_pipeline(config: str, params: AppParams = None):
+    """Bind ``config``/``params`` into a ``(runner, samples)`` callable.
+
+    The returned callable is the stream scheduler's unit of work: it runs
+    one MBioTracker window on the given runner and returns the
+    :class:`AppResult`. Custom pipelines with the same signature can be
+    served through :class:`repro.serve.StreamScheduler` directly.
+    """
+    if config not in CONFIGS:
+        raise ConfigurationError(
+            f"unknown configuration {config!r} (choose from {CONFIGS})"
+        )
+    if params is None:
+        params = AppParams()
+
+    def pipeline(runner: KernelRunner, samples) -> AppResult:
+        return _run_window(samples, config, runner, params)
+
+    pipeline.config = config
+    pipeline.params = params
+    return pipeline
+
+
+def _run_window(samples, config: str, runner: KernelRunner,
+                params: AppParams) -> AppResult:
+    """The four-step pipeline over one staged window (no SRAM rewind)."""
+    if len(samples) != WINDOW:
+        raise ConfigurationError(
+            f"the application window is {WINDOW} samples, got {len(samples)}"
+        )
+    taps = lowpass_taps_q15(params.fir_taps, params.fir_cutoff)
     model = default_workload_model()
     soc = runner.soc
     steps = {}
@@ -162,7 +210,9 @@ def run_application(samples, config: str, runner: KernelRunner = None,
             fir = fir_q15(samples, taps)
             soc.run_cpu(fir.cycles)
         with step_window("delineation"):
-            delineation = delineate(fir.samples, DELINEATION_THRESHOLD)
+            delineation = delineate(
+                fir.samples, params.delineation_threshold
+            )
             soc.run_cpu(delineation.cycles)
         with step_window("features"):
             if config == "cpu":
@@ -172,7 +222,7 @@ def run_application(samples, config: str, runner: KernelRunner = None,
                 # rfft_q15 output is the true spectrum / 256.
                 bands = [
                     band_power(sp_re, sp_im, lo, hi) >> 8
-                    for lo, hi in BANDS
+                    for lo, hi in params.bands
                 ]
             else:
                 soc.with_accelerators()
@@ -186,7 +236,7 @@ def run_application(samples, config: str, runner: KernelRunner = None,
                 bands = [
                     (band_power(sp_re, sp_im, lo, hi)
                      << (2 * accel.scale)) >> 24
-                    for lo, hi in BANDS
+                    for lo, hi in params.bands
                 ]
             features = _assemble_features(
                 delineation.insp_times, delineation.exp_times, bands
@@ -206,26 +256,26 @@ def run_application(samples, config: str, runner: KernelRunner = None,
 
     # ---- cpu_vwr2a -----------------------------------------------------------
     soc.with_accelerators()
-    params = soc.params
-    line_words = params.line_words
+    arch = soc.params
+    line_words = arch.line_words
 
     # High-SPM scratch area that no kernel layout touches: delineation
     # outputs, intervals, accumulator and SVM words live from line 48 up.
-    hi_base = (params.spm_lines - 16) * line_words
+    hi_base = (arch.spm_lines - 16) * line_words
 
     with step_window("preprocessing"):
         fir = run_fir(runner, taps, samples, spm_x_line=0)
         filtered = fir.samples
         # Keep the filtered window resident in the SPM for the next steps
         # (compacted copy staged back through the DMA).
-        layout = plan_fir(params, WINDOW, FIR_TAPS)
+        layout = plan_fir(arch, WINDOW, params.fir_taps)
         compact_line = 2 * layout.n_lines
         runner.stage_in(filtered, compact_line * line_words)
         soc.run_cpu(60)  # kernel-parameter programming
 
     with step_window("delineation"):
         delineation = run_delineation(
-            runner, filtered, DELINEATION_THRESHOLD,
+            runner, filtered, params.delineation_threshold,
             x_word=compact_line * line_words, stage_input=False,
             out_word=hi_base,
         )
@@ -271,7 +321,7 @@ def run_application(samples, config: str, runner: KernelRunner = None,
         # square and add with vector kernels, then per-band accumulations.
         spec_lines = 2  # 256 usable bins
         pow_line = rfft.w_line + (rfft.w_lines if rfft.w_resident else 2)
-        pow_line = min(pow_line, params.spm_lines - 2 * spec_lines)
+        pow_line = min(pow_line, arch.spm_lines - 2 * spec_lines)
         power_word = pow_line * line_words
         sq_word = power_word + spec_lines * line_words
         for name, op, a_line, b_line, scalar_arg, c_line in (
@@ -286,19 +336,19 @@ def run_application(samples, config: str, runner: KernelRunner = None,
         ):
             if scalar_arg is not None:
                 cfg = scalar_kernel(
-                    params, op, spec_lines * line_words,
+                    arch, op, spec_lines * line_words,
                     a_line=a_line, c_line=c_line, scalar=scalar_arg,
                     name=name,
                 )
             else:
                 cfg = elementwise_kernel(
-                    params, op, spec_lines * line_words,
+                    arch, op, spec_lines * line_words,
                     a_line=a_line, b_line=b_line, c_line=c_line,
                     name=name,
                 )
             runner.execute(cfg)
         bands = []
-        for lo, hi in BANDS:
+        for lo, hi in params.bands:
             bands.append(run_accumulate(
                 runner, power_word + lo, hi - lo, acc_word
             ).value)

@@ -136,6 +136,17 @@ class Vwr2a:
         """Name of the active execution engine."""
         return self._engine.name
 
+    @property
+    def engine_decisions(self) -> dict:
+        """Lifetime launch tally by the engine that actually executed.
+
+        ``{"compiled": n, "reference": m}`` — under ``engine="auto"`` the
+        split shows how many launches the SPM-conflict analysis kept on
+        the fast path; ``repro.serve`` reports the same split per stream
+        from its launch log.
+        """
+        return dict(self._engine.decisions)
+
     def run(self, name: str, max_cycles: int = None) -> RunResult:
         """Load and execute a stored kernel to completion."""
         if max_cycles is None:

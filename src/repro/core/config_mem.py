@@ -24,7 +24,7 @@ the historical double-store flow (``KernelRunner.store`` followed by
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.core.errors import ConfigurationError
 from repro.core.hazards import check_program_cached
@@ -45,6 +45,22 @@ class StoreStats:
     encode_misses: int = 0  #: per-column encodes actually performed
     hazard_hits: int = 0    #: per-column hazard re-checks skipped
     hazard_misses: int = 0  #: per-column hazard checks actually run
+
+    def snapshot(self) -> dict:
+        """An immutable copy of the counters (pairs with :meth:`since`)."""
+        return asdict(self)
+
+    def since(self, snapshot: dict) -> dict:
+        """Counter deltas accumulated since a :meth:`snapshot`.
+
+        The stream scheduler (``repro.serve``) reports this per served
+        stream: a warm stream shows ``dedup_hits`` growing with zero new
+        ``encode_misses``/``hazard_misses``.
+        """
+        return {
+            name: count - snapshot.get(name, 0)
+            for name, count in asdict(self).items()
+        }
 
 
 class ConfigurationMemory:

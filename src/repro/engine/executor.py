@@ -32,7 +32,7 @@ per-cycle execution — not just block-aligned.
 
 from __future__ import annotations
 
-from collections import OrderedDict, namedtuple
+from collections import Counter, OrderedDict, namedtuple
 from functools import partial
 
 from repro.core.alu import _simd16
@@ -72,9 +72,12 @@ class ReferenceEngine:
 
     def __init__(self) -> None:
         self.last_run_info = RunInfo("reference", None, ())
+        #: Lifetime launch tally by executing engine (``Vwr2a.engine_decisions``).
+        self.decisions = Counter()
 
     def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
         self.last_run_info = RunInfo("reference", None, ())
+        self.decisions["reference"] += 1
         cycles = 0
         while any(not col.done for col in active):
             if cycles >= max_cycles:
@@ -282,6 +285,8 @@ class CompiledEngine:
     def __init__(self) -> None:
         self._bound = {}
         self.last_run_info = RunInfo("compiled", None, ())
+        #: Lifetime launch tally by executing engine (``Vwr2a.engine_decisions``).
+        self.decisions = Counter()
 
     def _bind(self, column) -> BoundColumn:
         compiled = compile_program(column.program, column.params)
@@ -306,6 +311,7 @@ class CompiledEngine:
         if report.conflicts:
             raise SpmConflictError(name, report.conflicts)
         self.last_run_info = RunInfo("compiled", None, ())
+        self.decisions["compiled"] += 1
         snapshot = _snapshot_launch(vwr2a, active)
         bounds = [self._bind(col) for col in active]
         for bound in bounds:
@@ -383,6 +389,17 @@ class AutoEngine:
         self.compiled = CompiledEngine()
         self.reference = ReferenceEngine()
         self.last_run_info = RunInfo("compiled", None, ())
+
+    @property
+    def decisions(self) -> Counter:
+        """Lifetime launch tally by the engine that actually executed.
+
+        Derived from the sub-engines' own counters (they tick on every
+        launch routed to them, including launches that later abort), so
+        there is exactly one tally to keep consistent —
+        ``Vwr2a.engine_decisions`` exposes it.
+        """
+        return self.compiled.decisions + self.reference.decisions
 
     def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
         report = analyze_active(active, vwr2a.params) \

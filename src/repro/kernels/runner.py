@@ -50,30 +50,64 @@ class KernelRunner:
             )
         self.soc = soc
         self.soc.with_accelerators()
+        self._sram_base = 0
+        self._sram_limit = self.soc.sram.n_words
         self._sram_next = 0
+        #: Cumulative DMA cycles spent staging in/out through this runner;
+        #: ``repro.serve`` diffs it per window for its pipelining model.
+        self.staging_cycles = {"in": 0, "out": 0}
+        #: When set to a list, every ``launch`` appends its RunResult —
+        #: how the stream scheduler observes per-window engine decisions.
+        self.launch_log = None
 
     # -- SRAM staging ----------------------------------------------------------
 
     def sram_alloc(self, n_words: int) -> int:
         """Reserve a block of system SRAM; returns its word address."""
         base = self._sram_next
-        if base + n_words > self.soc.sram.n_words:
+        if base + n_words > self._sram_limit:
             raise ConfigurationError(
-                f"SRAM overflow: need {n_words} words at {base}"
+                f"SRAM overflow: need {n_words} words at {base} "
+                f"(staging region [{self._sram_base}, {self._sram_limit}))"
             )
         self._sram_next = base + n_words
         return base
 
+    def set_sram_region(self, base: int, n_words: int) -> None:
+        """Constrain the staging allocator to ``[base, base + n_words)``.
+
+        The stream scheduler double-buffers windows by alternating between
+        two half-SRAM regions: window *k*'s staged data (including its
+        staged-out results) stays intact in its half while window *k+1*
+        allocates from the other. Resets the bump pointer to ``base``.
+        DMA cost is purely length-based, so a region switch changes no
+        cycle or event accounting.
+        """
+        if n_words <= 0:
+            raise ConfigurationError(
+                f"SRAM staging region needs a positive size, got {n_words}"
+            )
+        if base < 0 or base + n_words > self.soc.sram.n_words:
+            raise ConfigurationError(
+                f"SRAM staging region [{base}, {base + n_words}) exceeds "
+                f"the {self.soc.sram.n_words}-word SRAM"
+            )
+        self._sram_base = base
+        self._sram_limit = base + n_words
+        self._sram_next = base
+
     def reset_sram(self) -> None:
-        """Rewind the SRAM bump allocator to word 0.
+        """Rewind the SRAM bump allocator to its region base (word 0 by
+        default).
 
         Staging buffers are transient per processing window; long-running
-        multi-window applications (``repro.app.mbiotracker``) call this
-        between windows to reuse the staging area instead of overflowing.
-        Any engine holding data resident in *SRAM* across windows must
-        re-stage it afterwards (SPM-resident data is unaffected).
+        multi-window applications (``repro.app.mbiotracker``,
+        ``repro.serve``) call this between windows to reuse the staging
+        area instead of overflowing. Any engine holding data resident in
+        *SRAM* across windows must re-stage it afterwards (SPM-resident
+        data is unaffected).
         """
-        self._sram_next = 0
+        self._sram_next = self._sram_base
 
     def stage_in(self, values, spm_word: int, order=None) -> int:
         """Host data -> SRAM -> SPM (optionally permuted/gathered).
@@ -85,13 +119,15 @@ class KernelRunner:
         base = self.sram_alloc(len(values))
         self.soc.sram.poke_words(base, list(values))
         if order is None:
-            return self.soc.dma_to_vwr2a(base, spm_word, len(values))
-        src_words = [base + index for index in order]
-        cycles = self.soc.vwr2a.dma.to_spm_gather(
-            self.soc.sram, src_words, spm_word
-        )
-        self.soc.cpu.sleep(cycles)
-        self.soc.power.advance(cycles)
+            cycles = self.soc.dma_to_vwr2a(base, spm_word, len(values))
+        else:
+            src_words = [base + index for index in order]
+            cycles = self.soc.vwr2a.dma.to_spm_gather(
+                self.soc.sram, src_words, spm_word
+            )
+            self.soc.cpu.sleep(cycles)
+            self.soc.power.advance(cycles)
+        self.staging_cycles["in"] += cycles
         return cycles
 
     def stage_out(self, spm_word: int, n_words: int, order=None):
@@ -106,6 +142,7 @@ class KernelRunner:
             )
             self.soc.cpu.sleep(cycles)
             self.soc.power.advance(cycles)
+        self.staging_cycles["out"] += cycles
         return self.soc.sram.peek_words(base, n_words), cycles
 
     # -- kernel launch -----------------------------------------------------------
@@ -128,7 +165,10 @@ class KernelRunner:
         was stored beforehand; ``RunResult.engine`` records whether the
         launch ran compiled or fell back to the reference interpreter.
         """
-        return self.soc.run_vwr2a_kernel(name, max_cycles=max_cycles)
+        result = self.soc.run_vwr2a_kernel(name, max_cycles=max_cycles)
+        if self.launch_log is not None:
+            self.launch_log.append(result)
+        return result
 
     def execute(self, config, max_cycles: int = None):
         self.store(config)

@@ -1,0 +1,73 @@
+"""Batched window-stream serving on top of the fast simulator.
+
+The serving layer turns the single-window ``run_application`` flow into a
+throughput-oriented pipeline for long biosignal traces and parameter
+sweeps (docs/serving.md):
+
+* :class:`WindowStream` — lazy, re-iterable slicing of a long trace into
+  fixed-size (optionally overlapping, optionally zero-padded) windows;
+* :class:`StreamScheduler` — feeds a stream through one
+  :class:`~repro.kernels.KernelRunner`, amortizing kernel stores
+  (structural config cache), recycling the SRAM staging area between
+  windows, double-buffering staged data across two SRAM halves, and
+  capturing per-window cycle/event/energy deltas and engine decisions;
+* :class:`StreamReport` / :class:`WindowResult` — per-window and
+  aggregate results, including the engine/fallback mix and the
+  double-buffer pipelining estimate;
+* :class:`ParameterSweep` / :class:`SweepCase` / :class:`SweepReport` —
+  the same trace replayed under N application variants on one shared
+  runner;
+* :func:`serve_trace` — the one-call entry point.
+
+Per-window results are bit-identical to a sequential
+``run_application`` loop (``tests/test_serve.py`` proves it, including a
+mid-stream reference-engine fallback).
+"""
+
+from repro.serve.report import (
+    StreamReport,
+    WindowResult,
+    app_energy_uj,
+    step_energy_uj,
+)
+from repro.serve.scheduler import StreamScheduler
+from repro.serve.stream import Window, WindowStream
+from repro.serve.sweep import ParameterSweep, SweepCase, SweepReport
+
+
+def serve_trace(trace, config: str = "cpu_vwr2a", window: int = None,
+                hop: int = None, tail: str = "drop", runner=None,
+                params=None, energy_model=True,
+                double_buffer: bool = True) -> StreamReport:
+    """Serve a long trace in one call: slice, schedule, report.
+
+    Equivalent to ``StreamScheduler(...).run(WindowStream(...))`` with
+    the application's 512-sample window as the default size. Energy is
+    modeled by default (pass ``energy_model=None`` to skip it).
+    """
+    if window is None:
+        from repro.app.mbiotracker import WINDOW
+
+        window = WINDOW
+    scheduler = StreamScheduler(
+        config=config, runner=runner, params=params,
+        double_buffer=double_buffer, energy_model=energy_model,
+    )
+    return scheduler.run(
+        WindowStream(trace, window=window, hop=hop, tail=tail)
+    )
+
+
+__all__ = [
+    "ParameterSweep",
+    "StreamReport",
+    "StreamScheduler",
+    "SweepCase",
+    "SweepReport",
+    "Window",
+    "WindowResult",
+    "WindowStream",
+    "app_energy_uj",
+    "serve_trace",
+    "step_energy_uj",
+]

@@ -1,0 +1,203 @@
+"""Per-window and aggregate results of a served stream.
+
+A :class:`StreamReport` is what :class:`~repro.serve.StreamScheduler.run`
+returns: one :class:`WindowResult` per window (cycles, event deltas, the
+kernel launches with their engine/fallback decisions, staging DMA split,
+optional energy) plus stream-level aggregates — total cycles and events,
+the engine decision mix, configuration-store cache deltas, and the
+double-buffer pipelining estimate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+def step_energy_uj(model, config: str, step) -> float:
+    """Energy (µJ) of one application :class:`~repro.app.StepResult`.
+
+    Sums the three platform contributions the Table-5 column is made of:
+    the VWR2A domain (only powered in the ``cpu_vwr2a`` configuration),
+    the fixed-function FFT accelerator, and the CPU's active/sleep split.
+    """
+    vwr2a = (
+        model.vwr2a_report(step.events, step.cycles).total_uj
+        if config == "cpu_vwr2a" else 0.0
+    )
+    accel = model.accel_report(step.events, 0).total_uj
+    cpu = (step.cpu_active * model.table.cpu_pj_per_cycle
+           + step.cpu_sleep * model.table.cpu_sleep_pj_per_cycle) * 1e-6
+    return vwr2a + accel + cpu
+
+
+def app_energy_uj(model, config: str, app) -> float:
+    """Energy (µJ) of a whole :class:`~repro.app.AppResult` window."""
+    return sum(
+        step_energy_uj(model, config, step) for step in app.steps.values()
+    )
+
+
+@dataclass
+class WindowResult:
+    """Everything one served window produced."""
+
+    index: int        #: window number within the stream
+    start: int        #: sample offset of the window in the trace
+    app: object       #: the pipeline's return value (AppResult by default)
+    cycles: int       #: platform cycles the window consumed (active+sleep)
+    events: dict      #: event-count delta of the window
+    launches: tuple   #: RunResult of every kernel launch in the window
+    staging_in_cycles: int   #: DMA cycles staging data in (SRAM -> SPM)
+    staging_out_cycles: int  #: DMA cycles staging results out (SPM -> SRAM)
+    energy_uj: float = None  #: modeled energy, when the scheduler has a model
+
+    @property
+    def engine_counts(self) -> dict:
+        """Launch tally by executing engine, e.g. ``{"compiled": 12}``."""
+        return dict(Counter(r.engine for r in self.launches))
+
+    @property
+    def fallbacks(self) -> tuple:
+        """``(kernel_name, fallback_reason)`` of reference-fallback launches."""
+        return tuple(
+            (r.name, r.fallback_reason)
+            for r in self.launches if r.fallback_reason
+        )
+
+    @property
+    def label(self):
+        """The application's predicted label (None for custom pipelines)."""
+        return getattr(self.app, "label", None)
+
+
+@dataclass
+class StreamReport:
+    """Aggregate outcome of one served window stream."""
+
+    config: str             #: application configuration (or pipeline repr)
+    engine: str             #: the SoC's engine selection ("auto" usually)
+    window: int             #: window size in samples
+    hop: int                #: stride between window starts
+    windows: list = field(default_factory=list)  #: WindowResult per window
+    wall_seconds: float = 0.0   #: host wall-clock time spent serving
+    store_stats: dict = field(default_factory=dict)  #: config-store cache delta
+    double_buffered: bool = False  #: whether staging alternated SRAM halves
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def total_cycles(self) -> int:
+        """Simulated platform cycles, summed over windows (sequential)."""
+        return sum(w.cycles for w in self.windows)
+
+    @property
+    def total_events(self) -> dict:
+        """Event counts summed over all windows."""
+        total = Counter()
+        for w in self.windows:
+            total.update(w.events)
+        return dict(total)
+
+    @property
+    def total_energy_uj(self):
+        """Total modeled energy (µJ), or None when energy was not computed."""
+        energies = [w.energy_uj for w in self.windows]
+        if not energies or any(e is None for e in energies):
+            return None
+        return sum(energies)
+
+    @property
+    def engine_counts(self) -> dict:
+        """Stream-wide launch tally by executing engine."""
+        total = Counter()
+        for w in self.windows:
+            total.update(Counter(r.engine for r in w.launches))
+        return dict(total)
+
+    @property
+    def fallbacks(self) -> tuple:
+        """Every reference fallback in the stream: (window, kernel, reason)."""
+        return tuple(
+            (w.index, name, reason)
+            for w in self.windows for name, reason in w.fallbacks
+        )
+
+    @property
+    def labels(self) -> list:
+        """Per-window predicted labels (the served inference output)."""
+        return [w.label for w in self.windows]
+
+    @property
+    def windows_per_second(self) -> float:
+        """Host-side serving throughput (windows / wall second)."""
+        if self.wall_seconds <= 0.0:
+            return float("inf") if self.windows else 0.0
+        return self.n_windows / self.wall_seconds
+
+    # -- double-buffer pipelining model -------------------------------------
+
+    @property
+    def overlap_saved_cycles(self) -> int:
+        """Platform cycles the double-buffered timeline hides.
+
+        With staging alternating between two SRAM halves, window *k+1*'s
+        stage-in DMA can proceed while the host drains window *k*'s
+        staged-out results, so consecutive windows overlap by
+        ``min(out_k, in_k+1)`` cycles. This is a model over the per-window
+        staging ledgers — the simulated per-window results themselves stay
+        bit-identical to sequential execution.
+        """
+        if not self.double_buffered:
+            return 0
+        return sum(
+            min(prev.staging_out_cycles, cur.staging_in_cycles)
+            for prev, cur in zip(self.windows, self.windows[1:])
+        )
+
+    @property
+    def pipelined_total_cycles(self) -> int:
+        """Modeled stream makespan with double-buffered staging overlap."""
+        return self.total_cycles - self.overlap_saved_cycles
+
+    # -- rendering ----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest of the stream."""
+        lines = [
+            f"stream: {self.n_windows} windows of {self.window} "
+            f"(hop {self.hop}) under {self.config!r} [engine={self.engine}]",
+            f"  cycles: {self.total_cycles} total"
+            + (f", {self.pipelined_total_cycles} pipelined "
+               f"(-{self.overlap_saved_cycles} overlap)"
+               if self.double_buffered else ""),
+        ]
+        if self.total_energy_uj is not None:
+            lines.append(f"  energy: {self.total_energy_uj:.2f} uJ")
+        counts = self.engine_counts
+        if counts:
+            mix = ", ".join(
+                f"{engine}: {count}" for engine, count in sorted(counts.items())
+            )
+            lines.append(f"  launches: {sum(counts.values())} ({mix})")
+        if self.fallbacks:
+            lines.append(f"  fallbacks: {len(self.fallbacks)} "
+                         f"(first: window {self.fallbacks[0][0]}, "
+                         f"kernel {self.fallbacks[0][1]!r})")
+        if self.store_stats:
+            lines.append(
+                "  store cache: "
+                f"{self.store_stats.get('dedup_hits', 0)} dedup hits, "
+                f"{self.store_stats.get('encode_misses', 0)} encode misses, "
+                f"{self.store_stats.get('hazard_misses', 0)} hazard misses"
+            )
+        if self.wall_seconds:
+            lines.append(
+                f"  host: {self.wall_seconds:.3f} s wall "
+                f"({self.windows_per_second:.1f} windows/s)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Window slicing of long biosignal traces.
+
+A :class:`WindowStream` turns an arbitrarily long sample trace into the
+fixed-size (optionally overlapping) windows the application pipeline
+consumes. Slicing is lazy and re-iterable: the stream holds a reference
+to the trace and materializes one window at a time, so multi-hour traces
+cost one window of working memory, and the same stream can be replayed
+across the cases of a :class:`~repro.serve.ParameterSweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+#: Accepted tail policies (see :class:`WindowStream`).
+TAIL_POLICIES = ("drop", "pad")
+
+
+@dataclass(frozen=True)
+class Window:
+    """One slice of a trace: its position and its samples."""
+
+    index: int     #: 0-based window number within the stream
+    start: int     #: sample offset of the window's first sample
+    samples: tuple  #: exactly ``window`` samples (zero-padded under "pad")
+
+
+class WindowStream:
+    """Overlapping fixed-size windows over a long sample trace.
+
+    ``hop`` is the stride between consecutive window starts; it defaults
+    to ``window`` (back-to-back, no overlap). ``hop < window`` produces
+    overlapping windows — e.g. ``WindowStream(trace, window=512,
+    hop=256)`` gives 50% overlap, the usual choice for spectral feature
+    continuity.
+
+    ``tail`` selects what happens to trailing samples that do not fill a
+    whole window: ``"drop"`` (default) ends the stream at the last full
+    window; ``"pad"`` zero-pads windows that extend past the end of the
+    trace so every sample is served — with ``hop < window`` more than
+    one trailing window can be padded.
+    """
+
+    def __init__(self, trace, window: int, hop: int = None,
+                 tail: str = "drop") -> None:
+        if window <= 0:
+            raise ConfigurationError(
+                f"window must be positive, got {window}"
+            )
+        if hop is None:
+            hop = window
+        if hop <= 0:
+            raise ConfigurationError(f"hop must be positive, got {hop}")
+        if tail not in TAIL_POLICIES:
+            raise ConfigurationError(
+                f"unknown tail policy {tail!r} (choose from {TAIL_POLICIES})"
+            )
+        self.trace = trace
+        self.window = window
+        self.hop = hop
+        self.tail = tail
+
+    def _starts(self) -> range:
+        n = len(self.trace)
+        if self.tail == "drop":
+            if n < self.window:
+                return range(0)
+            return range(0, n - self.window + 1, self.hop)
+        # "pad": every hop-aligned start that still covers >= 1 sample.
+        return range(0, n, self.hop)
+
+    @property
+    def n_windows(self) -> int:
+        return len(self._starts())
+
+    def __len__(self) -> int:
+        return self.n_windows
+
+    def __getitem__(self, index: int) -> Window:
+        starts = self._starts()
+        if index < 0:
+            index += len(starts)
+        if not 0 <= index < len(starts):
+            raise IndexError(
+                f"window {index} out of range [0, {len(starts)})"
+            )
+        return self._window(index, starts[index])
+
+    def __iter__(self):
+        for index, start in enumerate(self._starts()):
+            yield self._window(index, start)
+
+    def _window(self, index: int, start: int) -> Window:
+        samples = tuple(self.trace[start:start + self.window])
+        if len(samples) < self.window:  # only reachable under "pad"
+            samples += (0,) * (self.window - len(samples))
+        return Window(index=index, start=start, samples=samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowStream({len(self.trace)} samples, "
+            f"window={self.window}, hop={self.hop}, tail={self.tail!r}: "
+            f"{self.n_windows} windows)"
+        )

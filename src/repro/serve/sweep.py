@@ -1,0 +1,132 @@
+"""Parameter sweeps: one trace, many application variants, one runner.
+
+A :class:`ParameterSweep` replays the same :class:`~repro.serve.WindowStream`
+under N cases — different platform configurations (``cpu``,
+``cpu_fft_accel``, ``cpu_vwr2a``) and/or different
+:class:`~repro.app.AppParams` (filter taps, delineation thresholds,
+spectral feature bands) — on one shared runner, so compiled programs,
+configuration-word encodings and SPM-conflict verdicts carry over between
+cases instead of being rebuilt per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.kernels.runner import KernelRunner
+from repro.serve.scheduler import StreamScheduler
+from repro.serve.stream import WindowStream
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One sweep axis point: a named configuration + parameter variant."""
+
+    name: str                  #: unique case label (report key)
+    config: str = "cpu_vwr2a"  #: platform configuration
+    params: object = None      #: AppParams override (None = paper defaults)
+
+
+@dataclass
+class SweepReport:
+    """Per-case stream reports plus cross-case comparisons."""
+
+    reports: dict = field(default_factory=dict)  #: case name -> StreamReport
+
+    @property
+    def cases(self) -> list:
+        return list(self.reports)
+
+    def __getitem__(self, name: str):
+        return self.reports[name]
+
+    def __iter__(self):
+        return iter(self.reports.items())
+
+    def best(self, key=lambda report: report.total_cycles) -> str:
+        """Name of the case minimizing ``key`` (total cycles by default)."""
+        if not self.reports:
+            raise ConfigurationError("the sweep produced no reports")
+        return min(self.reports, key=lambda name: key(self.reports[name]))
+
+    def table(self) -> str:
+        """ASCII comparison of all cases."""
+        header = (
+            f"{'case':<24} {'config':<14} {'windows':>7} "
+            f"{'cycles':>10} {'cyc/win':>9} {'energy uJ':>10} {'labels':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, report in self.reports.items():
+            n = report.n_windows or 1
+            energy = report.total_energy_uj
+            labels = report.labels
+            high = sum(1 for label in labels if label == 1)
+            lines.append(
+                f"{name:<24} {report.config:<14} {report.n_windows:>7} "
+                f"{report.total_cycles:>10} {report.total_cycles // n:>9} "
+                f"{energy if energy is None else round(energy, 2)!s:>10} "
+                f"{f'{high}/{len(labels)}':>7}"
+            )
+        return "\n".join(lines)
+
+
+class ParameterSweep:
+    """Runs one trace through every case, reusing a single runner.
+
+    ``cases`` is an iterable of :class:`SweepCase` (plain configuration
+    strings are promoted to default-parameter cases). All cases share the
+    sweep's runner and therefore its configuration-memory and
+    compiled-program caches — the amortization that makes wide sweeps
+    cheap. ``window``/``hop``/``tail`` shape the stream exactly as in
+    :class:`~repro.serve.WindowStream`.
+    """
+
+    def __init__(self, cases, window: int = None, hop: int = None,
+                 tail: str = "drop", runner: KernelRunner = None,
+                 energy_model=True, double_buffer: bool = True) -> None:
+        self.cases = []
+        names = set()
+        for case in cases:
+            if isinstance(case, str):
+                case = SweepCase(name=case, config=case)
+            if case.name in names:
+                raise ConfigurationError(
+                    f"duplicate sweep case name {case.name!r}"
+                )
+            names.add(case.name)
+            self.cases.append(case)
+        if not self.cases:
+            raise ConfigurationError("a sweep needs at least one case")
+        if window is None:
+            from repro.app.mbiotracker import WINDOW
+
+            window = WINDOW
+        self.window = window
+        self.hop = hop
+        self.tail = tail
+        self.runner = runner if runner is not None else KernelRunner()
+        if energy_model is True:
+            from repro.energy import default_model
+
+            # Calibrate once here, not once per case scheduler.
+            energy_model = default_model()
+        self.energy_model = energy_model
+        self.double_buffer = double_buffer
+
+    def run(self, trace) -> SweepReport:
+        """Serve ``trace`` under every case; returns the sweep report."""
+        stream = WindowStream(
+            trace, window=self.window, hop=self.hop, tail=self.tail
+        )
+        report = SweepReport()
+        for case in self.cases:
+            scheduler = StreamScheduler(
+                config=case.config,
+                params=case.params,
+                runner=self.runner,
+                double_buffer=self.double_buffer,
+                energy_model=self.energy_model,
+            )
+            report.reports[case.name] = scheduler.run(stream)
+        return report
