@@ -1,0 +1,46 @@
+"""Deterministic maintenance of ``BENCH_sim_speed.json``.
+
+All speed benchmarks merge their entries into one JSON file at the repo
+root through :func:`update_bench`. The output is canonicalized — keys
+sorted, floats clamped to :data:`FLOAT_DIGITS` significant digits — so
+committed snapshots and CI build artifacts diff stably: a re-run changes
+only the measurements that actually moved, never the formatting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_speed.json"
+
+#: Significant digits kept for floats — far more than timing noise
+#: resolves, few enough that the JSON stays readable and diffable.
+FLOAT_DIGITS = 6
+
+
+def canonical(value):
+    """Recursively normalize a payload for deterministic serialization."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.{FLOAT_DIGITS}g}")
+    if isinstance(value, dict):
+        return {str(key): canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    return value
+
+
+def update_bench(update: dict) -> None:
+    """Merge ``update`` into BENCH_sim_speed.json (test-order agnostic)."""
+    payload = {}
+    if BENCH_PATH.exists():
+        try:
+            payload = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload.update(update)
+    BENCH_PATH.write_text(
+        json.dumps(canonical(payload), indent=2, sort_keys=True) + "\n"
+    )

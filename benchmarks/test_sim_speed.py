@@ -22,12 +22,11 @@ execute-many regime the engine exists for.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from bench_io import update_bench
 from repro.baselines import lowpass_taps_q15
 from repro.kernels import KernelRunner, SplitFftEngine
 from repro.kernels.fir import build_fir_kernel, plan_fir
@@ -37,25 +36,10 @@ from repro.soc.platform import BiosignalSoC
 #: this many times faster than the reference interpreter.
 MIN_SPEEDUP = 10.0
 
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-_BENCH_PATH = _REPO_ROOT / "BENCH_sim_speed.json"
-
 
 def _signal(n: int, scale: int = 1000) -> list:
     return [((i * 37 + (i * i) % 211) % (2 * scale)) - scale
             for i in range(n)]
-
-
-def _update_bench(update: dict) -> None:
-    """Merge ``update`` into BENCH_sim_speed.json (test-order agnostic)."""
-    payload = {}
-    if _BENCH_PATH.exists():
-        try:
-            payload = json.loads(_BENCH_PATH.read_text())
-        except (ValueError, OSError):
-            payload = {}
-    payload.update(update)
-    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _measure(engine: str) -> dict:
@@ -112,7 +96,7 @@ def test_sim_speed_fft2048(fft_measurements):
     speedup = (
         compiled["cycles_per_second"] / reference["cycles_per_second"]
     )
-    _update_bench({
+    update_bench({
         "benchmark": "fft2048_split",
         "metric": "simulated cycles per wall-clock second (Vwr2a.run only)",
         "reference": {
@@ -182,7 +166,7 @@ def test_short_kernel_launch_latency():
     assert stats.hazard_misses == hazard_misses
     assert stats.dedup_hits >= iterations
 
-    _update_bench({
+    update_bench({
         "short_kernel_launch": {
             "kernel": f"fir_{len(samples)}_{len(taps)}",
             "metric": "store+launch wall seconds (config cache warm)",

@@ -20,10 +20,9 @@ compilation. Kept tier-1-bounded: ~15 application windows total (~1 s).
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
+from bench_io import update_bench
 from repro.app import WINDOW, respiration_signal, run_application
 from repro.kernels import KernelRunner
 from repro.serve import serve_trace
@@ -33,21 +32,6 @@ N_WINDOWS = 6
 
 #: Acceptance floor: batched serving must beat independent runners.
 MIN_STREAM_SPEEDUP = 1.1
-
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-_BENCH_PATH = _REPO_ROOT / "BENCH_sim_speed.json"
-
-
-def _update_bench(update: dict) -> None:
-    """Merge ``update`` into BENCH_sim_speed.json (test-order agnostic)."""
-    payload = {}
-    if _BENCH_PATH.exists():
-        try:
-            payload = json.loads(_BENCH_PATH.read_text())
-        except (ValueError, OSError):
-            payload = {}
-    payload.update(update)
-    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def test_stream_throughput_vs_independent_runners():
@@ -78,7 +62,7 @@ def test_stream_throughput_vs_independent_runners():
         == [app.total_cycles for app in independent]
 
     speedup = independent_wall / batched_wall
-    _update_bench({
+    update_bench({
         "stream_windows_per_s": {
             "benchmark": "mbiotracker cpu_vwr2a window stream",
             "metric": "application windows served per wall-clock second",

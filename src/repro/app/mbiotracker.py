@@ -166,27 +166,36 @@ def run_application(samples, config: str, runner: KernelRunner = None,
     return report.windows[0].app
 
 
-def window_pipeline(config: str, params: AppParams = None):
-    """Bind ``config``/``params`` into a ``(runner, samples)`` callable.
+@dataclass(frozen=True)
+class WindowPipeline:
+    """The MBioTracker window pipeline bound to a config + parameters.
 
-    The returned callable is the stream scheduler's unit of work: it runs
-    one MBioTracker window on the given runner and returns the
-    :class:`AppResult`. Custom pipelines with the same signature can be
-    served through :class:`repro.serve.StreamScheduler` directly.
+    The stream scheduler's unit of work: calling it runs one window on
+    the given runner and returns the :class:`AppResult`. A frozen
+    dataclass rather than a closure so it pickles — pool workers
+    (:class:`~repro.serve.PoolScheduler`) receive the pipeline by value
+    and rebuild nothing, and its ``repr`` is restart-stable, which is
+    what stream checkpoints fingerprint. Custom pipelines with the same
+    ``(runner, samples)`` signature can be served through
+    :class:`repro.serve.StreamScheduler` directly.
     """
+
+    config: str
+    params: AppParams
+
+    def __call__(self, runner: KernelRunner, samples) -> AppResult:
+        return _run_window(samples, self.config, runner, self.params)
+
+
+def window_pipeline(config: str, params: AppParams = None) -> WindowPipeline:
+    """Bind ``config``/``params`` into a picklable window pipeline."""
     if config not in CONFIGS:
         raise ConfigurationError(
             f"unknown configuration {config!r} (choose from {CONFIGS})"
         )
-    if params is None:
-        params = AppParams()
-
-    def pipeline(runner: KernelRunner, samples) -> AppResult:
-        return _run_window(samples, config, runner, params)
-
-    pipeline.config = config
-    pipeline.params = params
-    return pipeline
+    return WindowPipeline(
+        config=config, params=params if params is not None else AppParams()
+    )
 
 
 def _run_window(samples, config: str, runner: KernelRunner,

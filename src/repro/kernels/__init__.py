@@ -35,7 +35,7 @@ from repro.kernels.fir import (
 from repro.kernels.layout import Region, SpmAllocator
 from repro.kernels.macro import ColumnKernelBuilder
 from repro.kernels.rfft import RfftEngine, RfftRun, rfft_reference_int
-from repro.kernels.runner import KernelRun, KernelRunner
+from repro.kernels.runner import KernelRun, KernelRunner, RunnerFactory
 from repro.kernels.vector import elementwise_kernel, plan_split, scalar_kernel
 
 __all__ = [
@@ -68,6 +68,7 @@ __all__ = [
     "rfft_reference_int",
     "KernelRun",
     "KernelRunner",
+    "RunnerFactory",
     "elementwise_kernel",
     "plan_split",
     "scalar_kernel",

@@ -36,6 +36,24 @@ class KernelRun:
         )
 
 
+@dataclass(frozen=True)
+class RunnerFactory:
+    """Picklable recipe for building a :class:`KernelRunner`.
+
+    A live runner drags an entire simulated platform behind it and is not
+    meant to cross process boundaries; pool workers
+    (:class:`~repro.serve.PoolScheduler`) instead receive this factory
+    and build their own platform instance on their side of the fork.
+    ``engine`` follows the :class:`KernelRunner` constructor (``None``
+    keeps the SoC default, ``"auto"``).
+    """
+
+    engine: str = None
+
+    def __call__(self) -> "KernelRunner":
+        return KernelRunner(engine=self.engine)
+
+
 class KernelRunner:
     """Stages data, launches kernels, and keeps the books."""
 
@@ -173,6 +191,27 @@ class KernelRunner:
     def execute(self, config, max_cycles: int = None):
         self.store(config)
         return self.launch(config.name, max_cycles=max_cycles)
+
+    def warm(self, pipeline, samples) -> None:
+        """Run one throwaway window to pre-warm the per-platform caches.
+
+        Populates the configuration-store cache (encode + hazard memos),
+        the compile memo and the SPM-conflict verdicts this runner's
+        platform will hit in steady state, then rewinds the staging
+        allocator. Per-window results are history-independent (the
+        serving layer's core determinism property), so warming changes
+        nothing about subsequently served windows; pool workers use this
+        hook to take the cold-cache cost before their first real window.
+        The launch log is suspended so the warm-up leaves no trace in
+        per-window reports.
+        """
+        log = self.launch_log
+        self.launch_log = None
+        try:
+            pipeline(self, samples)
+        finally:
+            self.launch_log = log
+            self.reset_sram()
 
     def events_snapshot(self) -> dict:
         return self.soc.events.snapshot()

@@ -16,18 +16,30 @@ sweeps (docs/serving.md):
   double-buffer pipelining estimate;
 * :class:`ParameterSweep` / :class:`SweepCase` / :class:`SweepReport` —
   the same trace replayed under N application variants on one shared
-  runner;
-* :func:`serve_trace` — the one-call entry point.
+  runner (or across a case-sharded process pool with ``workers=N``);
+* :class:`PoolScheduler` — the same stream sharded across N worker
+  processes, each owning its own simulated platform, merged back into
+  an order-stable, bit-identical :class:`StreamReport`
+  (docs/parallel.md);
+* :class:`StreamCheckpoint` — periodic persistence of completed windows
+  so very long traces resume mid-stream with identical final reports;
+* :func:`serve_trace` — the one-call entry point (``workers=N`` opts
+  into the pool, ``checkpoint=`` into resumable serving).
 
 Per-window results are bit-identical to a sequential
 ``run_application`` loop (``tests/test_serve.py`` proves it, including a
-mid-stream reference-engine fallback).
+mid-stream reference-engine fallback; ``tests/test_pool.py`` extends the
+proof to the process pool and kill-and-resume runs).
 """
 
+from repro.core.errors import ConfigurationError
+from repro.serve.checkpoint import CheckpointState, StreamCheckpoint
+from repro.serve.pool import PoolScheduler, PoolWorkerError
 from repro.serve.report import (
     StreamReport,
     WindowResult,
     app_energy_uj,
+    merge_counts,
     step_energy_uj,
 )
 from repro.serve.scheduler import StreamScheduler
@@ -38,28 +50,51 @@ from repro.serve.sweep import ParameterSweep, SweepCase, SweepReport
 def serve_trace(trace, config: str = "cpu_vwr2a", window: int = None,
                 hop: int = None, tail: str = "drop", runner=None,
                 params=None, energy_model=True,
-                double_buffer: bool = True) -> StreamReport:
+                double_buffer: bool = True, workers: int = None,
+                checkpoint=None) -> StreamReport:
     """Serve a long trace in one call: slice, schedule, report.
 
     Equivalent to ``StreamScheduler(...).run(WindowStream(...))`` with
     the application's 512-sample window as the default size. Energy is
     modeled by default (pass ``energy_model=None`` to skip it).
+    ``workers=N`` (N > 1) serves the same stream through a
+    :class:`PoolScheduler` instead — N platform instances in worker
+    processes, bit-identical report; ``checkpoint`` (a
+    :class:`StreamCheckpoint` or path) makes the run resumable
+    mid-stream. See docs/parallel.md for worker-count guidance.
     """
     if window is None:
         from repro.app.mbiotracker import WINDOW
 
         window = WINDOW
+    if workers is not None and workers < 1:
+        raise ConfigurationError(
+            f"serving needs at least one worker, got {workers}"
+        )
+    stream = WindowStream(trace, window=window, hop=hop, tail=tail)
+    if workers is not None and workers > 1:
+        if runner is not None:
+            raise ConfigurationError(
+                "pooled serving builds one runner per worker; a shared "
+                "runner and workers>1 are mutually exclusive"
+            )
+        return PoolScheduler(
+            config=config, workers=workers, params=params,
+            double_buffer=double_buffer, energy_model=energy_model,
+        ).run(stream, checkpoint=checkpoint)
     scheduler = StreamScheduler(
         config=config, runner=runner, params=params,
         double_buffer=double_buffer, energy_model=energy_model,
     )
-    return scheduler.run(
-        WindowStream(trace, window=window, hop=hop, tail=tail)
-    )
+    return scheduler.run(stream, checkpoint=checkpoint)
 
 
 __all__ = [
+    "CheckpointState",
     "ParameterSweep",
+    "PoolScheduler",
+    "PoolWorkerError",
+    "StreamCheckpoint",
     "StreamReport",
     "StreamScheduler",
     "SweepCase",
@@ -68,6 +103,7 @@ __all__ = [
     "WindowResult",
     "WindowStream",
     "app_energy_uj",
+    "merge_counts",
     "serve_trace",
     "step_energy_uj",
 ]

@@ -1,0 +1,534 @@
+"""Parallel multi-instance serving: one window stream, N platforms.
+
+Every window of a :class:`~repro.serve.WindowStream` is independent once
+the engine decision for its kernels is made at compile time, so a long
+trace shards embarrassingly: a :class:`PoolScheduler` runs N worker
+processes, each owning its **own** simulated platform (a fresh
+:class:`~repro.kernels.KernelRunner` built worker-side from a picklable
+:class:`~repro.kernels.runner.RunnerFactory`, with the store-once config
+cache warming on the worker's first window — or eagerly via
+:meth:`KernelRunner.warm`), and merges the per-window
+:class:`~repro.serve.WindowResult` objects back into one order-stable
+:class:`~repro.serve.StreamReport`.
+
+**Determinism.** Per-window results are history-independent: a window
+served on a cold platform is bit-identical (cycles, events, energy,
+engine decisions, features, labels) to the same window served mid-stream
+on a warm one — ``tests/test_serve.py`` proves it against the sequential
+flow, ``tests/test_pool.py`` against this pool. Sharding therefore
+changes *nothing* about the report except host-side wall time and the
+``store_stats`` counters, which honestly total the cache work all
+workers actually did (N cold stores instead of one). See
+docs/parallel.md.
+
+**Feeding.** Trace slicing happens on a host-side feeder thread that
+keeps a bounded task queue topped up, so window materialization (tuple
+slicing of multi-hour traces) overlaps window execution in the workers.
+
+**Checkpointing.** Passing a :class:`~repro.serve.StreamCheckpoint` (or
+a path) to :meth:`PoolScheduler.run` persists completed windows as their
+results arrive; a killed run resumes mid-stream — with any worker count,
+or even under the single-process scheduler — and the final report is
+bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.app.mbiotracker import window_pipeline
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.kernels.runner import RunnerFactory
+from repro.serve.checkpoint import (
+    CheckpointState,
+    finalize_session,
+    flush_session,
+    resume_session,
+    stream_fingerprint,
+)
+from repro.serve.report import StreamReport, merge_counts
+from repro.serve.scheduler import StreamScheduler
+from repro.serve.stream import Window, WindowStream
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_SECONDS = 0.1
+
+
+def _default_start_method() -> str:
+    """``"fork"`` on Linux (workers inherit warm structural memos),
+    ``"spawn"`` everywhere else — the one policy for pools and sweeps.
+
+    Fork is deliberately not preferred on macOS even though it is
+    available there: CPython switched its default to spawn (bpo-33725)
+    because forked children can crash in system frameworks.
+    """
+    if sys.platform == "linux" \
+            and "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class PoolWorkerError(SimulationError):
+    """A pool worker failed; carries the worker-side traceback."""
+
+    def __init__(self, worker_id, window_index, details: str) -> None:
+        who = (
+            "pool feeder thread" if worker_id == "feeder"
+            else f"pool worker {worker_id}"
+        )
+        where = (
+            f" at window {window_index}" if window_index is not None
+            else ""
+        )
+        super().__init__(
+            f"{who} failed{where} "
+            f"(completed windows are checkpointed when a checkpoint is "
+            f"configured):\n{details}"
+        )
+        self.worker_id = worker_id
+        self.window_index = window_index
+        self.details = details
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker needs to build its platform — all picklable."""
+
+    config: str
+    pipeline: object
+    double_buffer: bool
+    energy_model: object
+    runner_factory: object
+    warm_samples: tuple
+
+
+def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results) -> None:
+    """Worker process body: own platform, serve windows until sentinel."""
+    # Exception (not BaseException) throughout: KeyboardInterrupt /
+    # SystemExit must kill the worker outright — the host's liveness
+    # polling reports dead workers — rather than be wrapped as a
+    # per-window error while the worker keeps draining its queue.
+    try:
+        runner = spec.runner_factory()
+        scheduler = StreamScheduler(
+            config=spec.config,
+            runner=runner,
+            pipeline=spec.pipeline,
+            double_buffer=spec.double_buffer,
+            energy_model=spec.energy_model,
+        )
+        log = []
+        runner.launch_log = log
+        if spec.warm_samples is not None:
+            runner.warm(scheduler.pipeline, spec.warm_samples)
+        stats = runner.soc.vwr2a.config_mem.stats
+        engine = runner.soc.vwr2a.engine
+    except Exception:
+        results.put(("crash", worker_id, traceback.format_exc()))
+        return
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        window = Window(index=task[0], start=task[1], samples=task[2])
+        # The result ships the window's launches to the host; drop the
+        # previous window's entries so the log does not grow for the
+        # worker's whole lifetime (multi-hour streams, many launches).
+        del log[:]
+        before = stats.snapshot()
+        try:
+            result = scheduler.serve_window(window, log)
+        except Exception:
+            results.put((
+                "err", worker_id, window.index, traceback.format_exc()
+            ))
+            continue
+        results.put(("ok", worker_id, result, stats.since(before)))
+    results.put(("fin", worker_id, engine))
+
+
+class PoolScheduler:
+    """Shards a window stream across N worker-owned platform instances.
+
+    The drop-in parallel sibling of :class:`~repro.serve.StreamScheduler`
+    for CPU-bound serving: same report, ``workers``-way process
+    parallelism. The pipeline must be picklable — the default MBioTracker
+    :class:`~repro.app.mbiotracker.WindowPipeline` is; custom pipelines
+    should be module-level classes, not closures. ``runner_factory``
+    builds each worker's platform (engine choice lives there);
+    ``warm=True`` has every worker pre-run the stream's first window once
+    to take cold-cache costs off its first served window; ``prefetch``
+    bounds the feeder queue (windows buffered per worker);
+    ``start_method`` picks the :mod:`multiprocessing` context (default
+    ``"fork"`` where available — workers then inherit the parent's warm
+    structural compile/conflict memos — else ``"spawn"``).
+    """
+
+    def __init__(self, config: str = "cpu_vwr2a", workers: int = 2,
+                 params=None, pipeline=None, energy_model=None,
+                 double_buffer: bool = True, runner_factory=None,
+                 warm: bool = False, prefetch: int = 4,
+                 start_method: str = None) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"a pool needs at least one worker, got {workers}"
+            )
+        if prefetch < 1:
+            raise ConfigurationError(
+                f"prefetch must be at least 1 window, got {prefetch}"
+            )
+        self.config = (
+            getattr(pipeline, "config", config)
+            if pipeline is not None else config
+        )
+        self.workers = workers
+        self.pipeline = (
+            pipeline if pipeline is not None
+            else window_pipeline(config, params)
+        )
+        self.energy_model = energy_model
+        self.double_buffer = double_buffer
+        self.runner_factory = (
+            runner_factory if runner_factory is not None else RunnerFactory()
+        )
+        self.warm = warm
+        self.prefetch = prefetch
+        self.start_method = (
+            start_method if start_method is not None
+            else _default_start_method()
+        )
+        self._probed_engine = None
+
+    @property
+    def engine(self) -> str:
+        """Engine of the worker platforms (for reports/fingerprints).
+
+        Factories following the :class:`~repro.kernels.runner.RunnerFactory`
+        convention declare it through an ``engine`` attribute; when that
+        is absent or ``None`` (platform default), the factory is probed
+        once by building a throwaway runner — fingerprints and reports
+        record what workers actually run, never a guessed constant.
+        """
+        engine = getattr(self.runner_factory, "engine", None)
+        if engine is not None:
+            return engine
+        if self._probed_engine is None:
+            if isinstance(self.runner_factory, RunnerFactory):
+                # A stock factory with engine=None defers to the SoC
+                # default: read the platform's own constant rather than
+                # building a throwaway platform.
+                from repro.soc.platform import DEFAULT_ENGINE
+
+                self._probed_engine = DEFAULT_ENGINE
+            else:
+                self._probed_engine = \
+                    self.runner_factory().soc.vwr2a.engine
+        return self._probed_engine
+
+    def run(self, stream, checkpoint=None) -> StreamReport:
+        """Serve ``stream`` across the pool; returns the merged report.
+
+        With ``checkpoint`` (a :class:`~repro.serve.StreamCheckpoint` or
+        path), previously completed windows are skipped and progress is
+        persisted as results arrive — including on worker failure, right
+        before :class:`PoolWorkerError` is raised.
+        """
+        if checkpoint is not None:
+            checkpoint, state = resume_session(checkpoint, stream_fingerprint(
+                stream, self.config, self.engine, self.double_buffer,
+                pipeline=self.pipeline, energy_model=self.energy_model,
+            ))
+        else:
+            # No checkpoint: skip the O(trace) fingerprint hash and use
+            # a scratch state that only tracks completion.
+            state = CheckpointState(
+                fingerprint={"n_windows": stream.n_windows}
+            )
+        wall_base = state.wall_seconds
+        # The serving clock starts after fingerprinting/resume, matching
+        # StreamScheduler — wall_seconds accounts serving, not hashing.
+        wall_start = time.perf_counter()
+        served = not state.complete
+        if served:
+            engine = self._serve_remaining(
+                stream, state, checkpoint, wall_base, wall_start
+            )
+        else:
+            # A fully-checkpointed resume serves nothing: take the
+            # engine the checkpoint recorded (probe only as a fallback).
+            engine = state.fingerprint.get("engine") or self.engine
+        report = StreamReport(
+            config=self.config,
+            engine=engine,
+            window=getattr(stream, "window", 0),
+            hop=getattr(stream, "hop", 0),
+            double_buffered=self.double_buffer,
+        )
+        return finalize_session(
+            report, state, checkpoint, wall_base, wall_start,
+            served=served,
+        )
+
+    # -- the pool proper ----------------------------------------------------
+
+    def _spec(self, stream) -> _WorkerSpec:
+        warm_samples = None
+        if self.warm and len(stream):
+            warm_samples = stream[0].samples
+        spec = _WorkerSpec(
+            config=self.config,
+            pipeline=self.pipeline,
+            double_buffer=self.double_buffer,
+            energy_model=self.energy_model,
+            runner_factory=self.runner_factory,
+            warm_samples=warm_samples,
+        )
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise ConfigurationError(
+                "pool workers receive the pipeline/energy model/runner "
+                f"factory by value, and this one does not pickle: {exc} "
+                "(use a module-level pipeline class instead of a closure)"
+            ) from exc
+        return spec
+
+    def _serve_remaining(self, stream, state: CheckpointState,
+                         checkpoint, wall_base: float,
+                         wall_start: float) -> str:
+        todo = stream.n_windows - state.n_done
+        n_workers = max(1, min(self.workers, todo))
+        context = multiprocessing.get_context(self.start_method)
+        tasks = context.Queue(maxsize=n_workers * self.prefetch)
+        results = context.Queue()
+        spec = self._spec(stream)
+        procs = [
+            context.Process(
+                target=_worker_main, args=(i, spec, tasks, results),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for proc in procs:
+            proc.start()
+        abort = threading.Event()
+        feed_failure = []
+
+        def feed():
+            """Slice windows and keep the bounded task queue topped up.
+
+            Runs on a host thread so trace slicing (window
+            materialization) overlaps window execution in the workers.
+            Always chases the windows with one sentinel per worker —
+            including when slicing itself fails (lazy traces can raise
+            mid-stream); the error is recorded and surfaced by the host
+            loop, never swallowed into a hang.
+            """
+            try:
+                for window in stream:
+                    if window.index in state.results:
+                        continue
+                    if abort.is_set():
+                        break
+                    item = (window.index, window.start, window.samples)
+                    if not self._put(tasks, item, procs, abort_ok=abort):
+                        break
+            except Exception:
+                feed_failure.append(traceback.format_exc())
+                abort.set()
+            finally:
+                for _ in procs:
+                    self._put(tasks, None, procs)
+
+        feeder = threading.Thread(target=feed, daemon=True)
+        feeder.start()
+
+        failure = None
+        engines = set()
+        fins = 0
+
+        def handle(message):
+            nonlocal failure, fins
+            kind = message[0]
+            if kind == "ok":
+                _, _, result, stats_delta = message
+                if result.index in state.results:
+                    raise SimulationError(
+                        f"window {result.index} was served twice — "
+                        "sharding bug"
+                    )
+                state.results[result.index] = result
+                merge_counts(state.store_stats, stats_delta)
+                if checkpoint is not None:
+                    state.wall_seconds = (
+                        wall_base + time.perf_counter() - wall_start
+                    )
+                    checkpoint.mark(state)
+            elif kind == "err":
+                _, worker_id, index, details = message
+                if failure is None:
+                    failure = (worker_id, index, details)
+                abort.set()
+            elif kind == "crash":
+                _, worker_id, details = message
+                fins += 1
+                if failure is None:
+                    failure = (worker_id, None, details)
+                abort.set()
+            elif kind == "fin":
+                fins += 1
+                engines.add(message[2])
+
+        try:
+            while fins < n_workers:
+                try:
+                    handle(results.get(timeout=_POLL_SECONDS))
+                except queue.Empty:
+                    if any(proc.is_alive() for proc in procs):
+                        continue
+                    # All workers are gone. Their last messages may
+                    # still be in flight in the queue pipe — drain them
+                    # before deciding anything was actually lost.
+                    try:
+                        while fins < n_workers:
+                            handle(results.get(timeout=_POLL_SECONDS))
+                    except queue.Empty:
+                        pass
+                    if fins < n_workers and failure is None:
+                        failure = (
+                            -1, None,
+                            "pool workers died without reporting "
+                            "(killed?)",
+                        )
+                    break
+        except BaseException:
+            # Host-side interruption (Ctrl-C, internal error): the same
+            # durability contract as worker failure — flush completed
+            # windows before the exception propagates.
+            if checkpoint is not None:
+                flush_session(state, checkpoint, wall_base, wall_start)
+            raise
+        finally:
+            abort.set()
+            feeder.join(timeout=10.0)
+            for proc in procs:
+                proc.join(timeout=10.0)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            tasks.close()
+            results.close()
+        if failure is None and feed_failure:
+            failure = (
+                "feeder", None,
+                f"trace slicing failed mid-stream:\n{feed_failure[0]}",
+            )
+        if failure is not None:
+            if checkpoint is not None:
+                flush_session(state, checkpoint, wall_base, wall_start)
+            raise PoolWorkerError(*failure)
+        if len(engines) > 1:
+            raise SimulationError(
+                f"pool workers disagree on the engine: {sorted(engines)}"
+            )
+        if not state.complete:
+            raise SimulationError(
+                f"pool finished with {state.n_done}/{stream.n_windows} "
+                "windows served — sharding bug"
+            )
+        return engines.pop() if engines else self.engine
+
+    @staticmethod
+    def _put(tasks, item, procs, abort_ok=None) -> bool:
+        """Timed put that gives up when the pool is aborting or dead."""
+        while True:
+            try:
+                tasks.put(item, timeout=_POLL_SECONDS)
+                return True
+            except queue.Full:
+                if abort_ok is not None and abort_ok.is_set():
+                    return False
+                if not any(proc.is_alive() for proc in procs):
+                    return False
+
+
+# -- parameter sweeps over the pool -----------------------------------------
+
+
+@dataclass(frozen=True)
+class _SweepCasePayload:
+    """One sweep case shipped to a worker process — all picklable.
+
+    The (possibly huge) trace deliberately does not ride along: it is
+    installed once per worker by :func:`_sweep_worker_init`, not once
+    per case.
+    """
+
+    name: str
+    config: str
+    params: object
+    window: int
+    hop: int
+    tail: str
+    energy_model: object
+    double_buffer: bool
+    runner_factory: object
+
+
+#: The sweep trace, installed worker-side by the pool initializer.
+_SWEEP_TRACE = None
+
+
+def _sweep_worker_init(trace) -> None:
+    global _SWEEP_TRACE
+    _SWEEP_TRACE = trace
+
+
+def _sweep_case_main(payload: _SweepCasePayload):
+    """Serve one sweep case on a fresh worker-side platform."""
+    scheduler = StreamScheduler(
+        config=payload.config,
+        params=payload.params,
+        runner=payload.runner_factory(),
+        double_buffer=payload.double_buffer,
+        energy_model=payload.energy_model,
+    )
+    stream = WindowStream(
+        _SWEEP_TRACE, window=payload.window, hop=payload.hop,
+        tail=payload.tail,
+    )
+    return payload.name, scheduler.run(stream)
+
+
+def run_sweep_cases(payloads, trace, workers: int,
+                    start_method: str = None):
+    """Run sweep cases across a process pool; yields ``(name, report)``.
+
+    Case order is preserved. Used by
+    :class:`~repro.serve.ParameterSweep` when constructed with
+    ``workers > 1``; each case gets a fresh platform, so per-window
+    results match the shared-runner sweep bit-for-bit (history
+    independence again) while ``store_stats`` reflect each case's own
+    cold stores. ``trace`` is shipped once per worker (free under
+    ``fork``), not once per case.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = multiprocessing.get_context(
+        start_method if start_method is not None
+        else _default_start_method()
+    )
+    payloads = list(payloads)
+    max_workers = max(1, min(workers, len(payloads)))
+    with ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=context,
+        initializer=_sweep_worker_init, initargs=(trace,),
+    ) as pool:
+        yield from pool.map(_sweep_case_main, payloads)

@@ -10,8 +10,23 @@ double-buffer pipelining estimate.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+
+def merge_counts(into: dict, delta: dict) -> dict:
+    """Sum the counters of ``delta`` into ``into`` (in place) and return it.
+
+    The arithmetic behind mergeable reports: store-cache stats and event
+    tallies produced by different runners (checkpoint sessions, pool
+    workers) combine by plain addition.
+    """
+    for name, count in delta.items():
+        into[name] = into.get(name, 0) + count
+    return into
 
 
 def step_energy_uj(model, config: str, step) -> float:
@@ -83,6 +98,53 @@ class StreamReport:
     wall_seconds: float = 0.0   #: host wall-clock time spent serving
     store_stats: dict = field(default_factory=dict)  #: config-store cache delta
     double_buffered: bool = False  #: whether staging alternated SRAM halves
+
+    # -- merge arithmetic ---------------------------------------------------
+
+    def add_window(self, result: WindowResult) -> None:
+        """Insert ``result`` keeping ``windows`` ordered by window index.
+
+        Order-stable merging is what makes the report independent of
+        *who* served each window: checkpoint resumes and pool workers
+        complete windows out of order, but the assembled report reads
+        exactly like a sequential one. Duplicate indices raise — a merge
+        that serves the same window twice is a sharding bug, not a tie to
+        break silently.
+        """
+        position = bisect_left(
+            self.windows, result.index, key=lambda w: w.index
+        )
+        if position < len(self.windows) \
+                and self.windows[position].index == result.index:
+            raise ConfigurationError(
+                f"window {result.index} is already in the report"
+            )
+        self.windows.insert(position, result)
+
+    def merge_store_stats(self, delta: dict) -> None:
+        """Sum a store-cache counter delta into :attr:`store_stats`."""
+        merge_counts(self.store_stats, delta)
+
+    def merge(self, other: "StreamReport") -> "StreamReport":
+        """Absorb ``other`` (a disjoint shard of the same stream).
+
+        Both reports must describe the same stream shape and platform
+        (config, engine, window, hop, staging policy); their windows must
+        not overlap. Windows interleave by index, store stats add, and
+        wall time accumulates (shards measured by concurrent workers are
+        better timed by the pool itself). Returns ``self``.
+        """
+        for name in ("config", "engine", "window", "hop", "double_buffered"):
+            if getattr(self, name) != getattr(other, name):
+                raise ConfigurationError(
+                    f"cannot merge stream reports with different {name}: "
+                    f"{getattr(self, name)!r} != {getattr(other, name)!r}"
+                )
+        for result in other.windows:
+            self.add_window(result)
+        self.merge_store_stats(other.store_stats)
+        self.wall_seconds += other.wall_seconds
+        return self
 
     # -- aggregates ---------------------------------------------------------
 

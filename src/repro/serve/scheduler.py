@@ -30,7 +30,14 @@ import time
 
 from repro.app.mbiotracker import window_pipeline
 from repro.kernels.runner import KernelRunner
-from repro.serve.report import StreamReport, WindowResult, app_energy_uj
+from repro.serve.checkpoint import (
+    CheckpointState,
+    finalize_session,
+    flush_session,
+    resume_session,
+    stream_fingerprint,
+)
+from repro.serve.report import StreamReport, WindowResult, app_energy_uj, merge_counts
 
 
 class StreamScheduler:
@@ -74,10 +81,21 @@ class StreamScheduler:
             energy_model = default_model()
         self.energy_model = energy_model or None
 
-    def run(self, stream) -> StreamReport:
-        """Serve every window of ``stream``; returns the stream report."""
+    def run(self, stream, checkpoint=None) -> StreamReport:
+        """Serve every window of ``stream``; returns the stream report.
+
+        ``checkpoint`` (a :class:`~repro.serve.StreamCheckpoint` or a
+        path) enables mid-stream resume for very long traces: completed
+        windows recorded in the checkpoint are skipped, progress is
+        flushed every ``checkpoint.every`` windows, and the final report
+        — per-window results are history-independent, so skipping served
+        windows changes nothing — is bit-identical to an uninterrupted
+        run (wall time and store-cache stats reflect the work each
+        session actually did).
+        """
         runner = self.runner
         soc = runner.soc
+        stats = soc.vwr2a.config_mem.stats
         report = StreamReport(
             config=self.config,
             engine=soc.vwr2a.engine,
@@ -85,29 +103,66 @@ class StreamScheduler:
             hop=getattr(stream, "hop", 0),
             double_buffered=self.double_buffer,
         )
-        store_before = soc.vwr2a.config_mem.stats.snapshot()
+        if checkpoint is not None:
+            checkpoint, state = resume_session(checkpoint, stream_fingerprint(
+                stream, self.config, soc.vwr2a.engine,
+                self.double_buffer, pipeline=self.pipeline,
+                energy_model=self.energy_model,
+            ))
+        else:
+            # No checkpoint: a scratch state accumulates the session
+            # (same single code path, no O(trace) fingerprint hash).
+            state = CheckpointState(
+                fingerprint={"n_windows": getattr(stream, "n_windows", 0)}
+            )
         log = runner.launch_log
         owns_log = log is None
         if owns_log:
             log = []
             runner.launch_log = log
+        done_before = state.n_done
+        wall_base = state.wall_seconds
         wall_start = time.perf_counter()
         try:
             for window in stream:
-                report.windows.append(self._serve_window(window, log))
+                if window.index in state.results:
+                    continue
+                window_stats = stats.snapshot()
+                result = self.serve_window(window, log)
+                state.results[window.index] = result
+                merge_counts(state.store_stats, stats.since(window_stats))
+                if checkpoint is not None:
+                    state.wall_seconds = \
+                        wall_base + time.perf_counter() - wall_start
+                    checkpoint.mark(state)
+        except BaseException:
+            # Mirror the pool's durability contract: flush completed
+            # windows before the failure propagates, whatever the
+            # cadence, so the resume re-serves nothing.
+            if checkpoint is not None and state.n_done > done_before:
+                flush_session(state, checkpoint, wall_base, wall_start)
+            raise
         finally:
             if owns_log:
                 runner.launch_log = None
             if self.double_buffer:
                 # Leave the runner with its full staging area again.
                 runner.set_sram_region(0, soc.sram.n_words)
-        report.wall_seconds = time.perf_counter() - wall_start
-        report.store_stats = soc.vwr2a.config_mem.stats.since(store_before)
-        return report
+        return finalize_session(
+            report, state, checkpoint, wall_base, wall_start,
+            served=state.n_done > done_before,
+        )
 
     # -- one window ---------------------------------------------------------
 
-    def _serve_window(self, window, log) -> WindowResult:
+    def serve_window(self, window, log) -> WindowResult:
+        """Serve one :class:`~repro.serve.Window` on this scheduler's runner.
+
+        The pool workers' unit of work: stages the window under the
+        scheduler's SRAM policy, runs the pipeline, and captures the
+        per-window cycle/event/staging/energy deltas. ``log`` must be the
+        runner's active launch log.
+        """
         runner = self.runner
         soc = runner.soc
         if self.double_buffer:

@@ -84,7 +84,8 @@ class ParameterSweep:
 
     def __init__(self, cases, window: int = None, hop: int = None,
                  tail: str = "drop", runner: KernelRunner = None,
-                 energy_model=True, double_buffer: bool = True) -> None:
+                 energy_model=True, double_buffer: bool = True,
+                 workers: int = None) -> None:
         self.cases = []
         names = set()
         for case in cases:
@@ -113,9 +114,28 @@ class ParameterSweep:
             energy_model = default_model()
         self.energy_model = energy_model
         self.double_buffer = double_buffer
+        if workers is not None and workers < 1:
+            raise ConfigurationError(
+                f"a sweep pool needs at least one worker, got {workers}"
+            )
+        if workers is not None and workers > 1 and runner is not None:
+            raise ConfigurationError(
+                "a pooled sweep builds one runner per case; a shared "
+                "runner and workers>1 are mutually exclusive"
+            )
+        self.workers = workers
 
     def run(self, trace) -> SweepReport:
-        """Serve ``trace`` under every case; returns the sweep report."""
+        """Serve ``trace`` under every case; returns the sweep report.
+
+        With ``workers > 1`` the cases shard across a process pool, one
+        fresh platform per case (per-window results are bit-identical to
+        the shared-runner sweep; cross-case cache amortization is traded
+        for case-level parallelism — see docs/parallel.md).
+        """
+        if self.workers is not None and self.workers > 1 \
+                and len(self.cases) > 1:
+            return self._run_pooled(trace)
         stream = WindowStream(
             trace, window=self.window, hop=self.hop, tail=self.tail
         )
@@ -129,4 +149,28 @@ class ParameterSweep:
                 energy_model=self.energy_model,
             )
             report.reports[case.name] = scheduler.run(stream)
+        return report
+
+    def _run_pooled(self, trace) -> SweepReport:
+        from repro.kernels.runner import RunnerFactory
+        from repro.serve.pool import _SweepCasePayload, run_sweep_cases
+
+        payloads = [
+            _SweepCasePayload(
+                name=case.name,
+                config=case.config,
+                params=case.params,
+                window=self.window,
+                hop=self.hop,
+                tail=self.tail,
+                energy_model=self.energy_model,
+                double_buffer=self.double_buffer,
+                runner_factory=RunnerFactory(),
+            )
+            for case in self.cases
+        ]
+        report = SweepReport()
+        for name, case_report in run_sweep_cases(
+                payloads, tuple(trace), self.workers):
+            report.reports[name] = case_report
         return report

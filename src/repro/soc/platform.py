@@ -23,6 +23,11 @@ from repro.soc.irq import InterruptController
 from repro.soc.power_domains import Domain, PowerManager
 from repro.soc.sram import BankedSram
 
+#: The platform's default execution-engine selection (see docs/engine.md).
+#: The single source of truth — the serving layer reads it rather than
+#: mirroring the string.
+DEFAULT_ENGINE = "auto"
+
 
 class BiosignalSoC:
     """The MUSEIC-like platform hosting VWR2A."""
@@ -31,7 +36,7 @@ class BiosignalSoC:
         self,
         params: ArchParams = DEFAULT_PARAMS,
         soc_params: SocParams = DEFAULT_SOC_PARAMS,
-        engine: str = "auto",
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.params = params
         self.soc_params = soc_params

@@ -104,6 +104,39 @@ class TestWindowStream:
         with pytest.raises(ConfigurationError):
             WindowStream([1], window=4, tail="wrap")
 
+    def test_empty_trace_yields_no_windows(self):
+        for tail in ("drop", "pad"):
+            stream = WindowStream([], window=4, tail=tail)
+            assert len(stream) == 0
+            assert list(stream) == []
+            with pytest.raises(IndexError):
+                stream[0]
+
+    def test_window_longer_than_trace(self):
+        # "drop" ends before the first window; "pad" serves one padded.
+        assert list(WindowStream([7, 8, 9], window=8)) == []
+        padded = WindowStream([7, 8, 9], window=8, tail="pad")
+        assert [w.samples for w in padded] == [(7, 8, 9, 0, 0, 0, 0, 0)]
+        assert padded[0].start == 0
+
+    def test_overlap_of_a_full_window_or_more_raises(self):
+        # overlap = window - hop; overlap >= window means hop <= 0,
+        # i.e. a stream that never advances — rejected outright.
+        for overlap in (4, 5, 9):
+            with pytest.raises(ConfigurationError, match="hop"):
+                WindowStream(list(range(16)), window=4, hop=4 - overlap)
+
+    def test_reiteration_after_partial_consumption(self):
+        stream = WindowStream(list(range(16)), window=4)
+        first = iter(stream)
+        consumed = [next(first), next(first)]
+        assert [w.index for w in consumed] == [0, 1]
+        # A fresh iteration restarts from window 0, unaffected by the
+        # half-consumed iterator (and that iterator keeps its cursor).
+        assert [w.index for w in stream] == [0, 1, 2, 3]
+        assert next(first).index == 2
+        assert [w.samples for w in stream] == [w.samples for w in stream]
+
 
 class TestStreamBitIdentity:
     """Streamed serving == the sequential run_application loop, exactly."""
