@@ -1,0 +1,93 @@
+"""Bench-trend gate: regenerated vs committed ``BENCH_sim_speed.json``.
+
+CI's bench job snapshots the committed benchmark file, reruns the
+benchmarks (which rewrite it), then calls::
+
+    python benchmarks/bench_trend.py <committed.json> <regenerated.json>
+
+Any **guarded metric** that regressed by more than
+:data:`MAX_REGRESSION` fails the build with a per-metric report. Guarded
+metrics are the ones a guard test enforces a floor for — the FFT-2048
+engine speedup, the batched-stream speedup, and the pool speedup (the
+latter only when *both* snapshots were measured with the guard enforced,
+so a 1-CPU laptop snapshot can never trip the trend gate; the
+``skip_reason`` field says why a side was unenforced). Improvements and
+new metrics always pass — the committed file is a floor, not a pin.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Maximum tolerated relative drop of a guarded metric.
+MAX_REGRESSION = 0.10
+
+#: path into the JSON -> condition path that must be truthy on BOTH
+#: sides for the metric to be compared (None = always compared).
+GUARDED_METRICS = {
+    ("speedup",): None,
+    ("stream_windows_per_s", "speedup"): None,
+    ("pool_windows_per_s", "speedup"):
+        ("pool_windows_per_s", "guard_enforced"),
+}
+
+
+def _lookup(payload: dict, path: tuple):
+    value = payload
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def compare(committed: dict, regenerated: dict) -> list:
+    """Regression report rows: (metric, old, new, drop, failed)."""
+    rows = []
+    for path, condition in GUARDED_METRICS.items():
+        old = _lookup(committed, path)
+        new = _lookup(regenerated, path)
+        if not isinstance(old, (int, float)) \
+                or not isinstance(new, (int, float)) or old <= 0:
+            continue
+        if condition is not None and not (
+            _lookup(committed, condition) and _lookup(regenerated, condition)
+        ):
+            continue
+        drop = (old - new) / old
+        rows.append((
+            ".".join(path), float(old), float(new), drop,
+            drop > MAX_REGRESSION,
+        ))
+    return rows
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    committed = json.loads(open(argv[1]).read())
+    regenerated = json.loads(open(argv[2]).read())
+    rows = compare(committed, regenerated)
+    failed = False
+    for metric, old, new, drop, bad in rows:
+        verdict = "FAIL" if bad else "ok"
+        print(
+            f"[{verdict}] {metric}: committed {old:.4g} -> measured "
+            f"{new:.4g} ({-drop * 100:+.1f}%)"
+        )
+        failed |= bad
+    if not rows:
+        print("no guarded metrics comparable; trend gate passes")
+    if failed:
+        print(
+            "bench-trend: guarded metric regressed more than "
+            f"{MAX_REGRESSION:.0%} vs the committed BENCH_sim_speed.json"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

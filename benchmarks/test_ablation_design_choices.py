@@ -15,14 +15,12 @@ Three claims the paper argues qualitatively, quantified on our model:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.arch import ArchParams, SocParams
 from repro.baselines import lowpass_taps_q15
 from repro.isa import KernelConfig, Vwr
 from repro.isa.fields import DST_VWR_C, VWR_A, ShuffleMode
 from repro.isa.lsu import ld_vwr, shuf, st_vwr
-from repro.isa.mxcu import inck, setk
+from repro.isa.mxcu import setk
 from repro.isa.rc import RCOp, rc
 from repro.kernels.fir import run_fir
 from repro.kernels.macro import ColumnKernelBuilder
@@ -121,10 +119,10 @@ def test_ablation_shuffle_unit(benchmark):
     )
     datapath_cycles = _deinterleave_with_datapath()
     row = (
-        f"Ablation shuffle unit, 256-word de-interleave: shuffle "
+        "Ablation shuffle unit, 256-word de-interleave: shuffle "
         f"{shuffle_cycles} cyc vs datapath-copy {datapath_cycles}+ cyc "
         f"(>= {datapath_cycles / shuffle_cycles:.0f}x; and the datapath "
-        f"version still needs a second reorder pass)"
+        "version still needs a second reorder pass)"
     )
     print(row)
     benchmark.extra_info["row"] = row

@@ -69,7 +69,7 @@ def test_fig2_energy_ratio(benchmark, rng, n):
         f"uJ (ratio {ratio:.1f}, paper ~4-6), CPU {cpu_uj:.2f} uJ; "
         f"savings vs CPU: accel {(1 - accel_uj / cpu_uj) * 100:.0f}% "
         f"(paper 86.0%), vwr2a {(1 - vwr2a_uj / cpu_uj) * 100:.0f}% "
-        f"(paper 40.8%)"
+        "(paper 40.8%)"
     )
     print(row)
     benchmark.extra_info["row"] = row

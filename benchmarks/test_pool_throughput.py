@@ -52,6 +52,25 @@ def _usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def _skip_reason() -> str:
+    """Why the speedup guard is not enforced on this host (or None).
+
+    Recorded verbatim in ``BENCH_sim_speed.json`` so a committed
+    ``speedup`` below the floor with ``guard_enforced: false`` reads as
+    what it is — a host without enough CPUs to run the pool — and not as
+    a performance regression.
+    """
+    cpus = _usable_cpus()
+    if cpus >= POOL_WORKERS:
+        return None
+    return (
+        f"host exposes {cpus} usable CPU(s); a {POOL_WORKERS}-worker "
+        "pool cannot beat single-process serving of a CPU-bound "
+        "simulation by construction (guard enforced on >= "
+        f"{POOL_WORKERS}-CPU hosts, e.g. the CI bench job)"
+    )
+
+
 @pytest.fixture(scope="module")
 def measurements():
     trace = respiration_signal(N_WINDOWS * WINDOW)
@@ -96,6 +115,9 @@ def test_pool_throughput_vs_single_scheduler(measurements):
     single_wall = measurements["single_wall"]
     pooled_wall = measurements["pooled_wall"]
     speedup = single_wall / pooled_wall
+    skip_reason = _skip_reason()
+    if skip_reason is not None:
+        print(f"\npool speedup guard not enforced: {skip_reason}")
     update_bench({
         "pool_windows_per_s": {
             "benchmark": "mbiotracker cpu_vwr2a window stream, "
@@ -110,7 +132,8 @@ def test_pool_throughput_vs_single_scheduler(measurements):
             "pool_wall_seconds": pooled_wall,
             "speedup": speedup,
             "min_speedup_required": MIN_POOL_SPEEDUP,
-            "guard_enforced": _usable_cpus() >= POOL_WORKERS,
+            "guard_enforced": skip_reason is None,
+            "skip_reason": skip_reason,
             "simulated_cycles_per_window":
                 single.total_cycles // N_WINDOWS,
         },
@@ -119,12 +142,9 @@ def test_pool_throughput_vs_single_scheduler(measurements):
 
 def test_pool_speedup_guard(measurements):
     """Hard floor: the 4-worker pool must serve >= 1.5x faster."""
-    cpus = _usable_cpus()
-    if cpus < POOL_WORKERS:
-        pytest.skip(
-            f"host exposes {cpus} usable CPU(s); the {POOL_WORKERS}-worker "
-            f"pool guard needs >= {POOL_WORKERS} (enforced on CI runners)"
-        )
+    skip_reason = _skip_reason()
+    if skip_reason is not None:
+        pytest.skip(skip_reason)
     speedup = measurements["single_wall"] / measurements["pooled_wall"]
     assert speedup >= MIN_POOL_SPEEDUP, (
         f"{POOL_WORKERS}-worker pool only {speedup:.2f}x faster than one "

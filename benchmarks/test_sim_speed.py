@@ -7,17 +7,29 @@ are engine-independent), and writes ``BENCH_sim_speed.json`` at the repo
 root. A separate guard test fails outright if the compiled throughput
 multiple drops below :data:`MIN_SPEEDUP`.
 
+Each engine's flow is measured :data:`REPEATS` times and the fastest run
+is kept — the simulated work is identical per repetition, so the minimum
+estimates the true cost with scheduler noise removed (single-core CI
+runners share their host).
+
+The compiled measurement also aggregates the **superblock** counters off
+``RunResult.superblocks``: how many closed-form fused loops executed, the
+total trips they covered without per-trip dispatch, and how many ran the
+NumPy steady state (the FFT's 16/32-trip Table-1 loops sit below the
+vectorization break-even and run as counted scalar loops — see
+``repro.engine.superblocks.VEC_MIN_TRIPS_LANES``).
+
 Also measures **short-kernel launch latency** — store + launch of a small
 FIR, regenerated every iteration exactly like the FFT engines regenerate
 their batch kernels — which exercises the configuration-store caches
-(structural encode/hazard memoization) and the memoized SPM-conflict
-analysis. The warm-path iterations must perform zero re-encodes and zero
-hazard re-checks.
+(structural encode/hazard memoization) and the per-config SPM-conflict
+verdict cache. The warm-path iterations must perform zero re-encodes,
+zero hazard re-checks and zero conflict re-analyses.
 
-Kept tier-1-bounded by design: one warm-up flow plus one measured flow
-per engine (~3 s total). The warm-up populates the compile-once caches —
-the compiled engine's steady state is precisely the compile-once /
-execute-many regime the engine exists for.
+Kept tier-1-bounded by design: one warm-up flow plus a handful of
+measured flows (~3 s total, reference-dominated). The warm-up populates
+the compile-once caches — the compiled engine's steady state is precisely
+the compile-once / execute-many regime the engine exists for.
 """
 
 from __future__ import annotations
@@ -34,7 +46,10 @@ from repro.soc.platform import BiosignalSoC
 
 #: Acceptance floor: the compiled engine must simulate cycles at least
 #: this many times faster than the reference interpreter.
-MIN_SPEEDUP = 10.0
+MIN_SPEEDUP = 25.0
+
+#: Measured repetitions per engine (fastest kept).
+REPEATS = 3
 
 
 def _signal(n: int, scale: int = 1000) -> list:
@@ -42,7 +57,7 @@ def _signal(n: int, scale: int = 1000) -> list:
             for i in range(n)]
 
 
-def _measure(engine: str) -> dict:
+def _measure(engine: str, repeats: int = REPEATS) -> dict:
     runner = KernelRunner(soc=BiosignalSoC(engine=engine))
     vwr2a = runner.soc.vwr2a
     fft = SplitFftEngine(runner, 2048)
@@ -50,36 +65,59 @@ def _measure(engine: str) -> dict:
     im = _signal(2048, scale=700)
     fft.run(re, im)  # warm-up: compile/analysis caches, twiddle staging
 
-    acc = {"wall": 0.0, "cycles": 0, "launches": 0}
     original_run = vwr2a.run
+    best = None
+    first_spectrum = None
+    for _ in range(repeats):
+        runner.reset_sram()  # staging buffers are transient per flow
+        acc = {
+            "wall": 0.0, "cycles": 0, "launches": 0,
+            "superblocks": {
+                "accelerated_loops": 0,
+                "accelerated_trips": 0,
+                "vectorized_loops": 0,
+            },
+        }
 
-    def timed_run(name, max_cycles=None):
-        start = time.perf_counter()
-        result = original_run(name, max_cycles=max_cycles)
-        acc["wall"] += time.perf_counter() - start
-        acc["cycles"] += result.cycles
-        acc["launches"] += 1
-        return result
+        def timed_run(name, max_cycles=None, acc=acc):
+            start = time.perf_counter()
+            result = original_run(name, max_cycles=max_cycles)
+            acc["wall"] += time.perf_counter() - start
+            acc["cycles"] += result.cycles
+            acc["launches"] += 1
+            if result.superblocks:
+                for key, value in result.superblocks.items():
+                    acc["superblocks"][key] += value
+            return result
 
-    vwr2a.run = timed_run
-    try:
-        out = fft.run(re, im)
-    finally:
-        vwr2a.run = original_run
+        vwr2a.run = timed_run
+        try:
+            out = fft.run(re, im)
+        finally:
+            vwr2a.run = original_run
+        if first_spectrum is None:
+            # The FFT flow reuses SPM-resident state across repetitions,
+            # so spectra are only comparable at equal repetition index;
+            # the engines must agree on the first measured flow.
+            first_spectrum = (out.re[:4], out.im[:4])
+        if best is None or acc["wall"] < best["wall"]:
+            best = acc
     return {
         "engine": engine,
-        "kernel_cycles": acc["cycles"],
-        "kernel_launches": acc["launches"],
-        "wall_seconds": acc["wall"],
-        "cycles_per_second": acc["cycles"] / acc["wall"],
-        "spectrum_head": (out.re[:4], out.im[:4]),
+        "kernel_cycles": best["cycles"],
+        "kernel_launches": best["launches"],
+        "wall_seconds": best["wall"],
+        "cycles_per_second": best["cycles"] / best["wall"],
+        "measured_repeats": repeats,
+        "superblocks": best["superblocks"],
+        "spectrum_head": first_spectrum,
     }
 
 
 @pytest.fixture(scope="module")
 def fft_measurements() -> dict:
     return {
-        "reference": _measure("reference"),
+        "reference": _measure("reference", repeats=2),
         "compiled": _measure("compiled"),
     }
 
@@ -93,25 +131,41 @@ def test_sim_speed_fft2048(fft_measurements):
     assert compiled["kernel_launches"] == reference["kernel_launches"]
     assert compiled["spectrum_head"] == reference["spectrum_head"]
 
+    # The superblock tier must actually engage: every Table-1 loop in the
+    # FFT flow is provably closed-form.
+    superblocks = compiled["superblocks"]
+    assert superblocks["accelerated_loops"] > 0
+    assert superblocks["accelerated_trips"] \
+        >= superblocks["accelerated_loops"]
+
     speedup = (
         compiled["cycles_per_second"] / reference["cycles_per_second"]
     )
+    drop = ("spectrum_head", "superblocks")
     update_bench({
         "benchmark": "fft2048_split",
         "metric": "simulated cycles per wall-clock second (Vwr2a.run only)",
         "reference": {
-            k: v for k, v in reference.items() if k != "spectrum_head"
+            k: v for k, v in reference.items() if k not in drop
         },
         "compiled": {
-            k: v for k, v in compiled.items() if k != "spectrum_head"
+            k: v for k, v in compiled.items() if k not in drop
         },
         "speedup": speedup,
         "min_speedup_required": MIN_SPEEDUP,
+        "superblock": {
+            "metric": "closed-form fused-loop executions in the compiled "
+                      "FFT-2048 flow (one dispatch per loop run)",
+            "accelerated_loops": superblocks["accelerated_loops"],
+            "accelerated_trips": superblocks["accelerated_trips"],
+            "vectorized_loops": superblocks["vectorized_loops"],
+            "kernel_launches": compiled["kernel_launches"],
+        },
     })
 
 
 def test_fft2048_speedup_guard(fft_measurements):
-    """Hard floor: compiled FFT-2048 throughput must stay >= 10x."""
+    """Hard floor: compiled FFT-2048 throughput must stay >= 25x."""
     speedup = (
         fft_measurements["compiled"]["cycles_per_second"]
         / fft_measurements["reference"]["cycles_per_second"]
@@ -128,7 +182,8 @@ def test_short_kernel_launch_latency():
     The kernel is regenerated every iteration (fresh objects, identical
     code and addresses — the FFT engines' per-launch pattern), so after
     the cold first store every iteration must dedupe: zero re-encodes,
-    zero hazard re-checks, and the SPM-conflict analysis memo-hits.
+    zero hazard re-checks, and a per-config conflict-verdict cache hit
+    (``analysis_hits``) instead of a re-analysis.
     """
     runner = KernelRunner()  # engine="auto", the default
     vwr2a = runner.soc.vwr2a
@@ -152,6 +207,7 @@ def test_short_kernel_launch_latency():
     stats = vwr2a.config_mem.stats
     encode_misses = stats.encode_misses
     hazard_misses = stats.hazard_misses
+    analysis_misses = stats.analysis_misses
 
     iterations = 50
     warm_wall = 0.0
@@ -161,10 +217,13 @@ def test_short_kernel_launch_latency():
         assert result.engine == "compiled"
     warm_launch = warm_wall / iterations
 
-    # Warm path: the config cache absorbed every re-store.
+    # Warm path: the config cache absorbed every re-store, and the
+    # conflict verdict rode on the stored config object.
     assert stats.encode_misses == encode_misses
     assert stats.hazard_misses == hazard_misses
+    assert stats.analysis_misses == analysis_misses
     assert stats.dedup_hits >= iterations
+    assert stats.analysis_hits >= iterations
 
     update_bench({
         "short_kernel_launch": {
@@ -177,5 +236,6 @@ def test_short_kernel_launch_latency():
             "store_dedup_hits": stats.dedup_hits,
             "encode_misses_after_warm": stats.encode_misses,
             "hazard_misses_after_warm": stats.hazard_misses,
+            "analysis_misses_after_warm": stats.analysis_misses,
         },
     })

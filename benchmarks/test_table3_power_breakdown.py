@@ -12,7 +12,6 @@ from __future__ import annotations
 from benchmarks.conftest import q15_noise
 from repro.core.events import EventCounters
 from repro.energy import default_model, render_table3, table3_breakdown
-from repro.energy.anchors import FFT_ACCEL_POWER_MW, VWR2A_POWER_MW
 from repro.kernels.rfft import RfftEngine
 from repro.kernels.runner import KernelRunner
 from repro.soc.fft_accel import FftAccelerator

@@ -22,7 +22,7 @@ def main() -> None:
     model = default_model()
     signal = respiration_signal(WINDOW, high_workload_config())
     print(f"window: {WINDOW} samples of synthetic respiration "
-          f"(high-workload breathing pattern)\n")
+          "(high-workload breathing pattern)\n")
 
     totals = {}
     for config in ("cpu", "cpu_fft_accel", "cpu_vwr2a"):

@@ -10,16 +10,11 @@ then demonstrates the shuffle unit's interleave on two vectors.
 Run:  python examples/custom_kernel.py
 """
 
-from repro.arch import DEFAULT_PARAMS
 from repro.asm import ProgramBuilder, listing, parse_program
 from repro.core import Vwr2a
 from repro.isa import KernelConfig, ShuffleMode, Vwr
 from repro.isa.encoding import decode_bundle, encode_bundle
-from repro.isa.fields import DST_R0, DST_VWR_C, R0, VWR_A, imm, srf
-from repro.isa.lcu import addi, blt, seti
 from repro.isa.lsu import ld_vwr, shuf, st_vwr
-from repro.isa.mxcu import inck, setk
-from repro.isa.rc import RCOp, rc
 from repro.utils.fixed_point import float_to_fx, fx_to_float
 
 AXPB_ASM = """
@@ -65,7 +60,7 @@ def interleave_via_builder() -> None:
     sim.execute(KernelConfig(name="zip", columns={0: program}))
     out = sim.spm.peek_words(256, 128)
     assert out == list(range(128))
-    print(f"shuffle-unit interleave rebuilt 0..127 in "
+    print("shuffle-unit interleave rebuilt 0..127 in "
           f"{len(program.bundles)} bundles")
     print("\nprogram listing:")
     print(listing(program))
@@ -76,7 +71,7 @@ def roundtrip_demo() -> None:
     ).bundles[0]
     word = encode_bundle(bundle)
     assert decode_bundle(word) == bundle
-    print(f"\nconfiguration word round-trip OK "
+    print("\nconfiguration word round-trip OK "
           f"({word.bit_length()} bits used)")
 
 if __name__ == "__main__":

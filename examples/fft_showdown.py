@@ -60,7 +60,7 @@ def main() -> None:
     for name, cycles, uj in rows:
         print(f"{name:<24} {cycles:>8} {cycles / 80:>8.1f} {uj:>10.3f}")
     print(f"\nVWR2A vs CPU speed-up: {cpu.cycles / ours.run.total_cycles:.1f}x"
-          f"  |  accelerator-to-VWR2A energy gap: "
+          "  |  accelerator-to-VWR2A energy gap: "
           f"{vwr2a_uj / accel_uj:.1f}x (paper: ~5.5x)")
 
 if __name__ == "__main__":

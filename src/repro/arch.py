@@ -10,7 +10,7 @@ scaling logic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.bits import is_power_of_two
 

@@ -12,12 +12,12 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.errors import ProgramError
-from repro.isa.bundle import Bundle, make_bundle
+from repro.isa.bundle import make_bundle
 from repro.isa.lcu import LCU_NOP, LCUInstr, LCUOp, exit_
 from repro.isa.lsu import LSU_NOP, LSUInstr
 from repro.isa.mxcu import MXCU_NOP, MXCUInstr
 from repro.isa.program import ColumnProgram
-from repro.isa.rc import RC_NOP, RCInstr
+from repro.isa.rc import RCInstr
 
 
 class ProgramBuilder:

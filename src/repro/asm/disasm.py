@@ -7,7 +7,6 @@ in the style of the paper's Table 1.
 
 from __future__ import annotations
 
-from repro.isa.bundle import Bundle
 from repro.isa.encoding import decode_bundle
 from repro.isa.program import ColumnProgram
 

@@ -40,7 +40,6 @@ from repro.isa.fields import (
 )
 from repro.isa.lcu import (
     LCUInstr,
-    LCUOp,
     addi,
     beq,
     bge,

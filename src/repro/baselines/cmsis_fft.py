@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass
 
 from repro.baselines.cpu_cost import cfft_cycles, rfft_cycles
-from repro.utils.bits import bit_reverse_indices, clog2, is_power_of_two
+from repro.utils.bits import bit_reverse_indices, is_power_of_two
 from repro.utils.fixed_point import q15_sat
 
 

@@ -69,8 +69,7 @@ class Column:
         self.steps = 0
         # In-place reset: the compiled engine's closures capture this list.
         self.rc_out[:] = [0] * self.params.rcs_per_column
-        for entry, value in program.srf_init.items():
-            self.srf.poke(entry, value)
+        self.srf.poke_many(program.srf_init)
 
     # -- whole-column architectural state (no events) ----------------------
 
@@ -122,7 +121,7 @@ class Column:
         if not 0 <= self.pc < len(self.program):
             raise ProgramError(
                 f"column {self.index}: PC {self.pc} ran past the program "
-                f"without an EXIT"
+                "without an EXIT"
             )
         bundle = self.program[self.pc]
         self.steps += 1

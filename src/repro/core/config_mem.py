@@ -45,6 +45,8 @@ class StoreStats:
     encode_misses: int = 0  #: per-column encodes actually performed
     hazard_hits: int = 0    #: per-column hazard re-checks skipped
     hazard_misses: int = 0  #: per-column hazard checks actually run
+    analysis_hits: int = 0    #: SPM-conflict verdicts reused off the config
+    analysis_misses: int = 0  #: SPM-conflict verdicts actually computed
 
     def snapshot(self) -> dict:
         """An immutable copy of the counters (pairs with :meth:`since`)."""

@@ -52,7 +52,7 @@ class SpmConflictError(SimulationError):
         detail = "; ".join(str(c) for c in conflicts)
         super().__init__(
             f"kernel {kernel!r} has cross-column SPM conflicts that the "
-            f"compiled engine's block-granularity scheduler cannot order "
+            "compiled engine's block-granularity scheduler cannot order "
             f"({detail}); run it with engine='auto' or engine='reference'"
         )
         self.kernel = kernel

@@ -99,7 +99,7 @@ def check_bundle(bundle: Bundle, pc: int) -> None:
         raise StructuralHazardError(
             "VWR", pc,
             f"{names}: wide-side (LSU/shuffle) and datapath access in the "
-            f"same cycle",
+            "same cycle",
         )
 
 

@@ -18,8 +18,42 @@ A:B (V = VWR width in words) and produce V words:
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from repro.isa.fields import ShuffleMode
 from repro.utils.bits import bit_reverse, clog2, is_power_of_two
+
+#: Memoized permutation gathers: (mode, width, slice_words) -> itemgetter
+#: of V indices into the A:B concatenation. The wiring of the hardcoded
+#: unit is static, so every call is one C-level table-driven gather.
+_TABLES = {}
+
+
+def _table(mode: ShuffleMode, width: int, slice_words: int) -> list:
+    size = 2 * width
+    if mode in (ShuffleMode.INTERLEAVE_LO, ShuffleMode.INTERLEAVE_HI):
+        # Position 2i holds A[i], position 2i+1 holds B[i] (= concat
+        # index width + i); LO/HI selects a half of that interleaving.
+        interleaved = [0] * size
+        interleaved[0::2] = range(width)
+        interleaved[1::2] = range(width, size)
+        half = 0 if mode is ShuffleMode.INTERLEAVE_LO else width
+        return interleaved[half:half + width]
+    if mode is ShuffleMode.EVEN_PRUNE:
+        # Even-indexed elements pruned: the odd-indexed ones remain.
+        return list(range(1, width, 2)) + list(range(width + 1, size, 2))
+    if mode is ShuffleMode.ODD_PRUNE:
+        return list(range(0, width, 2)) + list(range(width, size, 2))
+    if mode in (ShuffleMode.BITREV_LO, ShuffleMode.BITREV_HI):
+        bits = clog2(size)
+        reordered = [bit_reverse(i, bits) for i in range(size)]
+        half = 0 if mode is ShuffleMode.BITREV_LO else width
+        return reordered[half:half + width]
+    if mode in (ShuffleMode.CSHIFT_LO, ShuffleMode.CSHIFT_HI):
+        shifted = [(i - slice_words) % size for i in range(size)]
+        half = 0 if mode is ShuffleMode.CSHIFT_LO else width
+        return shifted[half:half + width]
+    raise ValueError(f"unknown shuffle mode {mode!r}")
 
 
 def shuffle(a, b, mode: ShuffleMode, slice_words: int = 32) -> list:
@@ -34,34 +68,17 @@ def shuffle(a, b, mode: ShuffleMode, slice_words: int = 32) -> list:
     width = len(a)
     if not is_power_of_two(width):
         raise ValueError(f"VWR width must be a power of two, got {width}")
-    concat = list(a) + list(b)
-
-    if mode in (ShuffleMode.INTERLEAVE_LO, ShuffleMode.INTERLEAVE_HI):
-        interleaved = [0] * (2 * width)
-        interleaved[0::2] = a
-        interleaved[1::2] = b
-        half = 0 if mode is ShuffleMode.INTERLEAVE_LO else width
-        return interleaved[half:half + width]
-
-    if mode is ShuffleMode.EVEN_PRUNE:
-        # Even-indexed elements pruned: the odd-indexed ones remain.
-        return list(a[1::2]) + list(b[1::2])
-
-    if mode is ShuffleMode.ODD_PRUNE:
-        return list(a[0::2]) + list(b[0::2])
-
-    if mode in (ShuffleMode.BITREV_LO, ShuffleMode.BITREV_HI):
-        bits = clog2(2 * width)
-        reordered = [concat[bit_reverse(i, bits)] for i in range(2 * width)]
-        half = 0 if mode is ShuffleMode.BITREV_LO else width
-        return reordered[half:half + width]
-
-    if mode in (ShuffleMode.CSHIFT_LO, ShuffleMode.CSHIFT_HI):
-        size = 2 * width
-        shifted = [
-            concat[(i - slice_words) % size] for i in range(size)
-        ]
-        half = 0 if mode is ShuffleMode.CSHIFT_LO else width
-        return shifted[half:half + width]
-
-    raise ValueError(f"unknown shuffle mode {mode!r}")
+    key = (mode, width, slice_words)
+    gather = _TABLES.get(key)
+    if gather is None:
+        indices = _table(mode, width, slice_words)
+        if len(indices) == 1:
+            # itemgetter with one index returns a bare item, not a tuple.
+            def gather(concat, index=indices[0]):
+                return (concat[index],)
+        else:
+            gather = itemgetter(*indices)
+        _TABLES[key] = gather
+    concat = list(a)
+    concat += b
+    return list(gather(concat))

@@ -97,7 +97,7 @@ class Scratchpad:
         if len(state) != self.n_words:
             raise AddressError(
                 f"restore of {len(state)} words into a {self.n_words}-word "
-                f"SPM"
+                "SPM"
             )
         # In-place: the compiled engine's closures capture this list.
         self._data[:] = state

@@ -46,6 +46,14 @@ class ScalarRegisterFile:
         self._check(entry)
         self._data[entry] = to_signed32(value)
 
+    def poke_many(self, values: dict) -> None:
+        """Batch :meth:`poke` of an ``{entry: value}`` map (one call per
+        kernel load instead of one per initial SRF entry)."""
+        data = self._data
+        for entry, value in values.items():
+            self._check(entry)
+            data[entry] = to_signed32(value)
+
     def _check(self, entry: int) -> None:
         if not 0 <= entry < self.n_entries:
             raise AddressError(

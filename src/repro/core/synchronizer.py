@@ -9,7 +9,7 @@ registers a callback for the interrupt.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -16,9 +16,21 @@ performs that decode exactly once per program:
   two-bundle vector loop) is additionally fused into a **self-loop**: the
   generated function iterates internally and reports how many trips it
   made, eliminating per-iteration dispatch entirely;
+* straight-line block chains (single successor feeding a single
+  predecessor) are fused into **superblocks** — one generated function,
+  one dispatch, one event fold per chain execution — and a chain whose
+  tail branches back to the chain head becomes a fused multi-block
+  self-loop;
+* self-loops whose trip state is provably concrete (the closed-form
+  machinery shared with the SPM-conflict analysis,
+  :mod:`repro.engine.superblocks`) compute their **trip count once** at
+  loop entry; when the body qualifies, the per-trip RC/MXCU datapath work
+  runs as NumPy array operations over all trips at once, with the final
+  register state reconstructed from the loop's affine summary;
 * each block carries the static event delta of one execution
   (:mod:`repro.engine.deltas`) — the executor folds ``delta x count`` into
-  the shared tally at kernel end.
+  the shared tally at kernel end, multiplying (never iterating) the
+  per-trip deltas of fused loops.
 
 Compilation is memoized two ways: per :class:`ColumnProgram` object, and
 structurally by ``(params, bundles)`` — kernels regenerated per launch
@@ -36,7 +48,14 @@ from collections import Counter, OrderedDict
 from dataclasses import dataclass
 
 from repro.core.errors import ProgramError
-from repro.engine.deltas import bundle_event_delta
+from repro.engine.deltas import bundle_event_delta, delta_matrix
+from repro.engine.superblocks import (
+    NUMPY_AVAILABLE,
+    VEC_MAX_TRIPS,
+    bound_expr,
+    plan_loop,
+    trip_count_lines,
+)
 from repro.isa.fields import RCDstKind, RCSrcKind
 from repro.isa.lcu import BRANCH_OPS, LCUCmp, LCUOp
 from repro.isa.lsu import LSUOp
@@ -123,6 +142,15 @@ class _BundleCode:
     lines: list
     uses_k: bool = False
     sets_k: bool = False
+    #: LCU counter bookkeeping (SETI/ADDI) — kept separable so
+    #: closed-form loops can skip it per trip and reconstruct the final
+    #: register values from the affine loop summary instead.
+    lcu_lines: list = None
+
+    def all_lines(self) -> list:
+        if self.lcu_lines:
+            return self.lines + self.lcu_lines
+        return self.lines
 
 
 class _BundleGen:
@@ -162,6 +190,8 @@ class _BundleGen:
             self._srf_guard(operand.index, guards)
             return f"S[{int(operand.index)}]", False
         name = _VWR_SRC_NAMES[kind]
+        if i == 0:
+            return f"{name}[k]", True
         return f"{name}[{i * self.slice_words} + k]", True
 
     # -- per-unit lowering -------------------------------------------------
@@ -187,13 +217,23 @@ class _BundleGen:
             return
         if instr.srf_and != NO_SRF:
             self._srf_guard(instr.srf_and, guards)
-            and_expr = f"S[{instr.srf_and}]"
+            code.lines.append(
+                f"k = (((k + {instr.inc}) & S[{instr.srf_and}]) ^ "
+                f"{int(instr.xor_mask)}) & {self.slice_mask}"
+            )
         else:
-            and_expr = str(int(instr.and_mask))
-        code.lines.append(
-            f"k = (((k + {instr.inc}) & {and_expr}) ^ "
-            f"{int(instr.xor_mask)}) & {self.slice_mask}"
-        )
+            # Constant masks fold: the slice mask subsumes an immediate
+            # AND mask that already fits it, and a fitting XOR mask
+            # cannot push the index back out of range.
+            and_eff = int(instr.and_mask) & self.slice_mask
+            xor_eff = int(instr.xor_mask) & self.slice_mask
+            update = f"(k + {instr.inc}) & {and_eff}"
+            if xor_eff:
+                update = f"({update}) ^ {xor_eff}"
+            if (int(instr.and_mask) | int(instr.xor_mask)) \
+                    & ~self.slice_mask:
+                update = f"({update}) & {self.slice_mask}"
+            code.lines.append(f"k = {update}")
         code.uses_k = True
         code.sets_k = True
 
@@ -224,7 +264,8 @@ class _BundleGen:
                 commits.append(f"S[{int(instr.dst.index)}] = v{i}")
             elif kind in _VWR_DST_NAMES:
                 name = _VWR_DST_NAMES[kind]
-                commits.append(f"{name}[{i * self.slice_words} + k] = v{i}")
+                offset = f"{i * self.slice_words} + k" if i else "k"
+                commits.append(f"{name}[{offset}] = v{i}")
                 code.uses_k = True
         code.lines += computes + commits
 
@@ -241,7 +282,7 @@ class _BundleGen:
             lines.append(f"_a = S[{int(instr.addr)}]")
             lines.append(
                 f"if not 0 <= _a < {params.spm_lines}: "
-                f"raise AddressError('SPM line %d out of range [0, "
+                "raise AddressError('SPM line %d out of range [0, "
                 f"{params.spm_lines})' % _a)"
             )
             lines.append(f"_b = _a * {line_words}")
@@ -256,7 +297,7 @@ class _BundleGen:
             lines.append(f"_a = S[{int(instr.addr)}]")
             lines.append(
                 f"if not 0 <= _a < {params.spm_words}: "
-                f"raise AddressError('SPM word address %d out of range [0, "
+                "raise AddressError('SPM word address %d out of range [0, "
                 f"{params.spm_words})' % _a)"
             )
             if op is LSUOp.LD_SRF:
@@ -284,11 +325,11 @@ class _BundleGen:
         """The LCU's register-file side; control flow is the block's job."""
         op = instr.op
         if op is LCUOp.SETI:
-            code.lines.append(f"L[{instr.rd}] = {wrap32(instr.imm)}")
+            code.lcu_lines = [f"L[{instr.rd}] = {wrap32(instr.imm)}"]
         elif op is LCUOp.ADDI:
-            code.lines.append(
+            code.lcu_lines = [
                 f"L[{instr.rd}] = " + _w(f"L[{instr.rd}] + {int(instr.imm)}")
-            )
+            ]
         elif op is LCUOp.LDSRF:
             self._srf_guard(instr.cmp, guards)
             code.lines.append(f"L[{instr.rd}] = S[{int(instr.cmp)}]")
@@ -309,21 +350,25 @@ def _branch_cond(instr) -> str:
 
 @dataclass
 class BlockInfo:
-    """Static description of one compiled basic block."""
+    """Static description of one compiled superblock (fused block chain)."""
 
     index: int
-    leader: int          #: PC of the block's first bundle
+    leader: int          #: PC of the superblock's first bundle
     n_cycles: int        #: bundles (= cycles) per straight execution
     fn_name: str
     delta: tuple         #: ((event, count), ...) for one execution
     exit_next: int       #: reference PC after EXIT (-1 when not an exit)
     is_loop: bool        #: self-loop fused: fn(limit) -> (next_pc, trips)
+    closed_form: bool    #: loop trips solvable at entry (no horizon needed)
+    vectorized: bool     #: loop body carries a NumPy steady-state path
+    members: tuple       #: ((leader, n_cycles, delta), ...) per basic block
 
 
 class CompiledProgram:
     """Code object + block metadata of one compiled ColumnProgram."""
 
-    __slots__ = ("params", "source", "code", "blocks", "n_bundles")
+    __slots__ = ("params", "source", "code", "blocks", "n_bundles",
+                 "event_names", "event_matrix")
 
     def __init__(self, params, source, code, blocks, n_bundles) -> None:
         self.params = params
@@ -331,6 +376,17 @@ class CompiledProgram:
         self.code = code
         self.blocks = blocks
         self.n_bundles = n_bundles
+        # Per-superblock static event matrix: the end-of-kernel fold is
+        # one integer mat-vec over the execution histogram
+        # (repro.engine.deltas.delta_matrix).
+        names, rows = delta_matrix([blk.delta for blk in blocks])
+        self.event_names = names
+        if NUMPY_AVAILABLE:
+            import numpy
+
+            self.event_matrix = numpy.array(rows, dtype=numpy.int64)
+        else:
+            self.event_matrix = rows
 
     def listing(self) -> str:
         """The generated Python source (debug aid)."""
@@ -380,6 +436,65 @@ def signature_names(params) -> list:
     return names
 
 
+def superblock_chains(bundles) -> list:
+    """Fuse basic blocks into superblock chains.
+
+    A chain extends while the current block has exactly one successor
+    (fall-through or JUMP) that is another block's leader with exactly one
+    predecessor — so every execution of the head runs the whole chain, and
+    no other control flow can enter mid-chain (the fused function stays
+    the only way to reach its members, keeping the per-block execution
+    histogram exact). Single-block self-loops stay their own superblock; a
+    chain whose *tail* branches back to the chain head becomes a fused
+    multi-block self-loop.
+
+    Returns a list of chains, each a list of member-PC lists.
+    """
+    raw_blocks = block_pcs(bundles)
+    leader_to = {pcs[0]: i for i, pcs in enumerate(raw_blocks)}
+    succs = []
+    self_loop = []
+    for pcs in raw_blocks:
+        last = bundles[pcs[-1]].lcu
+        op = last.op
+        if op is LCUOp.EXIT:
+            targets = ()
+        elif op is LCUOp.JUMP:
+            targets = (last.target,)
+        elif op in BRANCH_OPS:
+            targets = (last.target, pcs[-1] + 1)
+        else:
+            targets = (pcs[-1] + 1,)
+        succs.append(targets)
+        self_loop.append(op in BRANCH_OPS and last.target == pcs[0])
+    preds = Counter()
+    preds[raw_blocks[0][0]] += 1  # program entry
+    for targets in succs:
+        for target in targets:
+            if target in leader_to:
+                preds[target] += 1
+    chains = []
+    consumed = set()
+    for index, pcs in enumerate(raw_blocks):
+        if index in consumed:
+            continue
+        chain = [index]
+        consumed.add(index)
+        if not self_loop[index]:
+            current = index
+            while len(succs[current]) == 1:
+                target = succs[current][0]
+                nxt = leader_to.get(target)
+                if nxt is None or nxt in consumed or self_loop[nxt] \
+                        or preds[target] != 1:
+                    break
+                chain.append(nxt)
+                consumed.add(nxt)
+                current = nxt
+        chains.append([raw_blocks[i] for i in chain])
+    return chains
+
+
 def compile_program(program, params) -> CompiledProgram:
     """Compile ``program`` (memoized per object and per structure)."""
     cached = getattr(program, "_compiled", None)
@@ -402,6 +517,81 @@ def compile_program(program, params) -> CompiledProgram:
     return compiled
 
 
+_RC_READ_KINDS = (RCSrcKind.RCT, RCSrcKind.RCB)
+
+
+def _hoistable_commits(bundles, pcs, body_lines) -> tuple:
+    """Split a counted-loop body into per-trip lines and hoistable tails.
+
+    Inside a loop whose trip count is known up front, the RC output
+    latches (``O[i] = v``) and register-file writes (``R{i}[j] = v``) are
+    dead until the final trip *when the body never reads them* — the
+    compute temporaries carry the last trip's values, so the commits can
+    replay once after the loop. VWR and SRF state stays per-trip (it is
+    the loop's memory effect). Returns ``(loop_lines, post_lines)``.
+    """
+    reads_o = False
+    read_regs = set()
+    for pc in pcs:
+        for i, instr in enumerate(bundles[pc].rcs):
+            if instr.is_nop:
+                continue
+            for operand in instr.operands():
+                kind = operand.kind
+                if kind in _RC_READ_KINDS:
+                    reads_o = True
+                elif kind is RCSrcKind.R0:
+                    read_regs.add((i, 0))
+                elif kind is RCSrcKind.R1:
+                    read_regs.add((i, 1))
+    def _dead_latch(line: str) -> bool:
+        target, _, _ = line.partition(" = ")
+        if target.startswith("O["):
+            return not reads_o
+        if target.startswith("R") and target[1:2].isdigit() \
+                and "[" in target:
+            cell, _, slot = target[1:-1].partition("[")
+            return cell.isdigit() and slot.isdigit() \
+                and (int(cell), int(slot)) not in read_regs
+        return False
+
+    last_assign = {}
+    last_commit = {}
+    for position, line in enumerate(body_lines):
+        target, _, _ = line.partition(" = ")
+        if target.startswith("v") and target[1:].isdigit():
+            last_assign[target] = position
+        if _dead_latch(line):
+            last_commit[target] = position
+    loop_lines = []
+    post = []
+    for position, line in enumerate(body_lines):
+        target, _, source = line.partition(" = ")
+        if target in last_commit:
+            if position != last_commit[target]:
+                # Overwritten later in the same trip and never read in
+                # the body: fully dead.
+                continue
+            if last_assign.get(source, -1) <= position:
+                # The temporary still holds this value after the final
+                # trip: replay the commit once, after the loop.
+                post.append(line)
+                continue
+        loop_lines.append(line)
+    return loop_lines, list(post)
+
+
+def _member_info(members, deltas) -> tuple:
+    """Per-basic-block (leader, n_cycles, delta) rows of one superblock."""
+    rows = []
+    for pcs in members:
+        delta = Counter()
+        for pc in pcs:
+            delta.update(deltas[pc])
+        rows.append((pcs[0], len(pcs), tuple(sorted(delta.items()))))
+    return tuple(rows)
+
+
 def _compile(bundles, params) -> CompiledProgram:
     gen = _BundleGen(params)
     bodies = [gen.gen(bundle) for bundle in bundles]
@@ -410,19 +600,73 @@ def _compile(bundles, params) -> CompiledProgram:
 
     blocks = []
     sources = []
-    for index, pcs in enumerate(block_pcs(bundles)):
+    for index, members in enumerate(superblock_chains(bundles)):
+        pcs = [pc for member in members for pc in member]
         leader = pcs[0]
         last = bundles[pcs[-1]]
         uses_k = any(bodies[pc].uses_k for pc in pcs)
         sets_k = any(bodies[pc].sets_k for pc in pcs)
         op = last.lcu.op
         is_loop = op in BRANCH_OPS and last.lcu.target == leader
+        plan = plan_loop(bundles, pcs, params) if is_loop else None
 
         fn_name = f"_b{leader}"
         lines = [f"def {fn_name}({'limit, ' if is_loop else ''}{sig}):"]
         indent = "    "
         if uses_k or sets_k:
             lines.append(f"{indent}k = col.k")
+        counted = plan is not None and all(
+            sym[0] != "u" for sym in plan.lcu_sym.values()
+        )
+        if counted:
+            # Closed-form trip count, computed once at loop entry. While
+            # the counter provably stays inside int32, the loop runs
+            # without per-trip branch evaluation: the NumPy steady state
+            # when the trip count lands in the profitable window, a
+            # counted scalar loop otherwise — both reconstruct the LCU
+            # registers from the affine summary. Counter wrap-around
+            # falls through to the exact per-trip loop below.
+            lines.append(f"{indent}_v0 = L[{plan.counter}]")
+            lines.append(f"{indent}_bnd = {bound_expr(plan)}")
+            for line in trip_count_lines(plan):
+                lines.append(indent + line)
+            lines.append(f"{indent}if _t is None or _t > limit:")
+            lines.append(f"{indent}    _t = limit")
+            lines.append(f"{indent}    _pc = {leader}")
+            lines.append(f"{indent}else:")
+            lines.append(f"{indent}    _pc = {pcs[-1] + 1}")
+            lines.append(
+                f"{indent}if -2147483648 <= _v0 + _t * {plan.delta} "
+                "<= 2147483647:"
+            )
+            if plan.vectorized:
+                lines.append(
+                    f"{indent}    if {plan.min_trips} <= _t "
+                    f"<= {VEC_MAX_TRIPS}:"
+                )
+                for line in plan.vector_lines:
+                    lines.append(f"{indent}        {line}")
+            counted_body, post_commits = _hoistable_commits(
+                bundles, pcs,
+                [line for pc in pcs for line in bodies[pc].lines],
+            )
+            if counted_body:
+                lines.append(f"{indent}    for _ in range(_t):")
+                for line in counted_body:
+                    lines.append(f"{indent}        {line}")
+            for line in post_commits:
+                lines.append(f"{indent}    {line}")
+            for reg, sym in sorted(plan.lcu_sym.items()):
+                if sym[0] == "c":
+                    lines.append(f"{indent}    L[{reg}] = {sym[1]}")
+                elif sym[1]:
+                    lines.append(
+                        f"{indent}    L[{reg}] = ((L[{reg}] + _t * {sym[1]} "
+                        "+ 2147483648) & 4294967295) - 2147483648"
+                    )
+            if sets_k:
+                lines.append(f"{indent}    col.k = k")
+            lines.append(f"{indent}    return _pc, _t")
         if is_loop:
             lines.append(f"{indent}_n = 0")
             lines.append(f"{indent}while True:")
@@ -430,7 +674,7 @@ def _compile(bundles, params) -> CompiledProgram:
         else:
             body_indent = indent
         for pc in pcs:
-            for line in bodies[pc].lines:
+            for line in bodies[pc].all_lines():
                 lines.append(body_indent + line)
         if is_loop:
             # Taken branch loops internally (bounded by the cycle budget);
@@ -473,6 +717,9 @@ def _compile(bundles, params) -> CompiledProgram:
             delta=tuple(sorted(delta.items())),
             exit_next=(pcs[-1] + 1) if op is LCUOp.EXIT else -1,
             is_loop=is_loop,
+            closed_form=plan is not None,
+            vectorized=plan is not None and plan.vectorized,
+            members=_member_info(members, deltas),
         ))
 
     source = "\n\n".join(sources)

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.engine.compiler import block_pcs
+from repro.engine.superblocks import loop_summary, trip_count
 from repro.isa.fields import RCSrcKind
 from repro.isa.lcu import BRANCH_OPS, LCUCmp, LCUOp
 from repro.isa.lsu import LSUOp
@@ -214,7 +215,13 @@ class _FootprintAnalyzer:
         for pcs in block_pcs(self.bundles):
             last = self.bundles[pcs[-1]].lcu
             if last.op in BRANCH_OPS and last.target == pcs[0]:
-                self._loops[pcs[0]] = self._loop_summary(pcs)
+                # One symbolic walk per self-loop block — the machinery is
+                # shared with the compiler's closed-form loop planner
+                # (repro.engine.superblocks), so the abstract analysis and
+                # the execution path agree on which loops are provable.
+                self._loops[pcs[0]] = loop_summary(
+                    self.bundles, pcs, self.n_srf, self.n_lcu
+                )
 
     # -- driver -----------------------------------------------------------
 
@@ -371,87 +378,7 @@ class _FootprintAnalyzer:
     # Symbolic per-trip values: ("d", delta)  == trip-start value + delta,
     #                           ("c", v)      == the constant v,
     #                           ("u",)        == data-dependent.
-
-    @staticmethod
-    def _sym_add(sym, inc: int):
-        tag = sym[0]
-        if tag == "u":
-            return sym
-        return (tag, sym[1] + inc)
-
-    def _loop_summary(self, pcs):
-        """One symbolic walk of a self-loop block (static, state-free)."""
-        srf_sym = {e: ("d", 0) for e in range(self.n_srf)}
-        lcu_sym = {r: ("d", 0) for r in range(self.n_lcu)}
-        sites = []
-        ok = True
-        for pc in pcs:
-            bundle = self.bundles[pc]
-            for instr in bundle.rcs:
-                if instr.is_nop:
-                    continue
-                for operand in instr.operands():
-                    if operand.kind is RCSrcKind.SRF \
-                            and not 0 <= operand.index < self.n_srf:
-                        ok = False
-                if instr.dst.writes_srf:
-                    if 0 <= instr.dst.index < self.n_srf:
-                        srf_sym[int(instr.dst.index)] = ("u",)
-                    else:
-                        ok = False
-            lsu = bundle.lsu
-            access = bundle.spm_access()
-            if access is not None:
-                granularity, direction, entry, inc = access
-                is_line = granularity == "line"
-                is_write = direction == "write"
-                if not 0 <= entry < self.n_srf or (
-                    not is_line and not 0 <= int(lsu.data) < self.n_srf
-                ):
-                    ok = False
-                    continue
-                sites.append((is_line, is_write, entry, srf_sym[entry]))
-                if lsu.op is LSUOp.LD_SRF:
-                    srf_sym[int(lsu.data)] = ("u",)
-                if inc:
-                    srf_sym[entry] = self._sym_add(srf_sym[entry], inc)
-            elif lsu.op is LSUOp.SET_SRF:
-                if 0 <= int(lsu.data) < self.n_srf:
-                    srf_sym[int(lsu.data)] = ("c", to_signed32(lsu.value))
-                else:
-                    ok = False
-            instr = bundle.lcu
-            if instr.op is LCUOp.SETI:
-                lcu_sym[instr.rd] = ("c", wrap32(instr.imm))
-            elif instr.op is LCUOp.ADDI:
-                lcu_sym[instr.rd] = self._sym_add(
-                    lcu_sym[instr.rd], int(instr.imm)
-                )
-            elif instr.op is LCUOp.LDSRF:
-                # Loop-varying load: conservatively data-dependent.
-                lcu_sym[instr.rd] = ("u",)
-        branch = self.bundles[pcs[-1]].lcu
-        counter = lcu_sym.get(branch.rd, ("u",))
-        if branch.op not in (LCUOp.BLT, LCUOp.BGE) \
-                or counter[0] != "d" or counter[1] == 0:
-            ok = False
-        # The comparison operand must be loop-invariant.
-        if branch.cmp_kind is LCUCmp.REG \
-                and lcu_sym.get(int(branch.cmp)) != ("d", 0):
-            ok = False
-        if branch.cmp_kind is LCUCmp.SRF and (
-            not 0 <= int(branch.cmp) < self.n_srf
-            or srf_sym[int(branch.cmp)] != ("d", 0)
-        ):
-            ok = False
-        return {
-            "ok": ok,
-            "pcs": pcs,
-            "branch": branch,
-            "srf_sym": srf_sym,
-            "lcu_sym": lcu_sym,
-            "sites": sites,
-        }
+    # The walk itself lives in repro.engine.superblocks.loop_summary.
 
     def _trip_count(self, summary, srf, lcu):
         """Closed-form trip count, or None when not statically solvable."""
@@ -468,15 +395,7 @@ class _FootprintAnalyzer:
             bound = srf[int(branch.cmp)]
         if bound is UNKNOWN:
             return None
-        # Counter value after trip t is v0 + t*d; the loop continues while
-        # the branch is taken.
-        if branch.op is LCUOp.BLT:
-            if d <= 0:
-                return None if v0 + d < bound else 1
-            return max(1, -(-(bound - v0) // d))
-        if d >= 0:
-            return None if v0 + d >= bound else 1
-        return max(1, (v0 - bound) // (-d) + 1)
+        return trip_count(branch.op, d, v0, bound)
 
     def _accelerate(self, summary, srf: list, lcu: list):
         """Fold a whole self-loop run into footprint + post-state."""

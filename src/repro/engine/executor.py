@@ -7,22 +7,25 @@ Two interchangeable engines drive kernel execution for
   (``Column.step`` per column per cycle). It is the golden model.
 * :class:`CompiledEngine` — binds each column's
   :class:`~repro.engine.compiler.CompiledProgram` to the column's storage
-  and dispatches whole basic blocks (and fused self-loops) per iteration.
-  Event counting happens as per-block execution histograms that are folded
+  and dispatches whole superblocks (fused straight-line chains and
+  self-loops; closed-form loops complete a full run — possibly as a NumPy
+  steady state — in one dispatch, see :mod:`repro.engine.superblocks`).
+  Event counting happens as per-superblock execution histograms folded
   into the shared :class:`~repro.core.events.EventCounters` once at kernel
-  end (:meth:`BoundColumn.finish`) — bit-identical to per-cycle logging
-  because every bundle's event delta is static (see
-  :mod:`repro.engine.deltas`).
+  end (:meth:`BoundColumn.finish`, one mat-vec over the program's static
+  event matrix) — bit-identical to per-cycle logging because every
+  bundle's event delta is static (see :mod:`repro.engine.deltas`).
 
 Multi-column kernels run under a virtual-time scheduler: the column with
-the smallest cycle count advances by one block. Columns therefore
-synchronize at block (not cycle) granularity; the static cross-column SPM
-analysis (:mod:`repro.engine.conflicts`) proves per launch that no column
-writes addresses another column touches, so the relaxed ordering is
-unobservable. Kernels that *do* communicate through the SPM mid-kernel
-raise :class:`~repro.core.errors.SpmConflictError` on the forced compiled
-engine, and are routed to the reference interpreter automatically by
-:class:`AutoEngine` (``engine="auto"``, the default).
+the smallest cycle count advances superblocks until its virtual time
+passes the smallest of the other running columns'. Columns therefore
+synchronize at superblock (not cycle) granularity; the static
+cross-column SPM analysis (:mod:`repro.engine.conflicts`) proves per
+launch that no column writes addresses another column touches, so the
+relaxed ordering is unobservable. Kernels that *do* communicate through
+the SPM mid-kernel raise :class:`~repro.core.errors.SpmConflictError` on
+the forced compiled engine, and are routed to the reference interpreter
+automatically by :class:`AutoEngine` (``engine="auto"``, the default).
 
 Aborted launches (``AddressError`` / ``ProgramError``) are rewound to the
 pre-launch snapshot and replayed cycle-by-cycle on the reference
@@ -40,24 +43,32 @@ from repro.core.errors import AddressError, ProgramError, SpmConflictError
 from repro.core.shuffle import shuffle
 from repro.engine.compiler import compile_program
 from repro.engine.conflicts import EMPTY_REPORT, analyze_active
+from repro.engine.superblocks import _np, lane_offsets, vector_namespace
 from repro.isa.fields import ShuffleMode, Vwr
 from repro.isa.rc import RCOp
 
-#: Per-launch engine decision, surfaced on ``RunResult`` by ``Vwr2a.run``.
-RunInfo = namedtuple("RunInfo", ["engine", "fallback_reason", "conflicts"])
+#: Per-launch engine decision plus superblock accounting, surfaced on
+#: ``RunResult`` by ``Vwr2a.run``. ``superblocks`` is the accelerated-loop
+#: counter dict (None on the reference path); ``histogram`` the per-block
+#: execution histogram ``((column, leader, count, delta), ...)``.
+RunInfo = namedtuple(
+    "RunInfo",
+    ["engine", "fallback_reason", "conflicts", "superblocks", "histogram"],
+    defaults=(None, ()),
+)
 
 
 def _budget_error(name: str, max_cycles: int) -> ProgramError:
     return ProgramError(
         f"kernel {name!r} exceeded {max_cycles} cycles; "
-        f"missing EXIT or diverging loop?"
+        "missing EXIT or diverging loop?"
     )
 
 
 def _past_end_error(column_index: int, pc: int) -> ProgramError:
     return ProgramError(
         f"column {column_index}: PC {pc} ran past the program "
-        f"without an EXIT"
+        "without an EXIT"
     )
 
 
@@ -75,7 +86,10 @@ class ReferenceEngine:
         #: Lifetime launch tally by executing engine (``Vwr2a.engine_decisions``).
         self.decisions = Counter()
 
-    def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
+    def run_kernel(self, vwr2a, name, active, max_cycles,
+                   report=None) -> int:
+        # ``report`` (the pre-verified conflict analysis) is accepted for
+        # interface uniformity; the per-cycle interpreter never needs it.
         self.last_run_info = RunInfo("reference", None, ())
         self.decisions["reference"] += 1
         cycles = 0
@@ -100,7 +114,9 @@ class BoundColumn:
     def __init__(self, column, compiled) -> None:
         self.column = column
         self.compiled = compiled
+        self.vec_counter = [0]
         namespace = self._namespace(column)
+        namespace["_VEC"] = self.vec_counter
         exec(compiled.code, namespace)
         table = {}
         for blk in compiled.blocks:
@@ -110,11 +126,19 @@ class BoundColumn:
                 blk.index,
                 blk.exit_next,
                 blk.is_loop,
+                blk.closed_form,
             )
         self.table = table
         self.counts = [0] * len(compiled.blocks)
         self.steps = 0
         self.pc = 0
+        self.loops_accelerated = 0
+        self.trips_accelerated = 0
+        # Execution histograms of deterministic kernels repeat launch
+        # after launch: the event fold and the per-block histogram rows
+        # are memoized on the count vector (bounded; cleared wholesale).
+        self._fold_memo = {}
+        self._hist_memo = {}
 
     @staticmethod
     def _namespace(column) -> dict:
@@ -140,15 +164,20 @@ class BoundColumn:
             g[f"_shuf{int(mode)}"] = partial(
                 _mode_shuffle, mode, slice_words
             )
+        g.update(vector_namespace())
+        g["_lofs"] = lane_offsets(column.params)
         return g
 
     def begin(self) -> None:
         self.counts = [0] * len(self.compiled.blocks)
         self.steps = 0
         self.pc = 0
+        self.loops_accelerated = 0
+        self.trips_accelerated = 0
+        self.vec_counter[0] = 0
 
     def run_to_exit(self, kernel_name: str, max_cycles: int) -> int:
-        """Single-column fast path: dispatch blocks until EXIT."""
+        """Single-column fast path: dispatch superblocks until EXIT."""
         table = self.table
         counts = self.counts
         steps = 0
@@ -158,7 +187,7 @@ class BoundColumn:
                 entry = table.get(pc)
                 if entry is None:
                     raise _past_end_error(self.column.index, pc)
-                fn, n_cycles, index, exit_next, is_loop = entry
+                fn, n_cycles, index, exit_next, is_loop, closed = entry
                 if is_loop:
                     limit = (max_cycles - steps) // n_cycles
                     if limit <= 0:
@@ -166,6 +195,9 @@ class BoundColumn:
                     pc, trips = fn(limit)
                     counts[index] += trips
                     steps += trips * n_cycles
+                    if closed:
+                        self.loops_accelerated += 1
+                        self.trips_accelerated += trips
                 else:
                     if steps + n_cycles > max_cycles:
                         raise _budget_error(kernel_name, max_cycles)
@@ -182,52 +214,93 @@ class BoundColumn:
             self.pc = pc
         return steps
 
-    def advance(self, kernel_name: str, max_cycles: int,
-                horizon: int = None) -> bool:
-        """Execute one block (or fused loop run); False once EXITed.
+    def run_until(self, kernel_name: str, max_cycles: int,
+                  horizon: int = None) -> bool:
+        """Advance whole superblocks until the horizon; False once EXITed.
 
-        ``horizon`` (multi-column scheduling) caps a fused self-loop so
-        this column stops as soon as its virtual time passes the other
-        running columns' — preserving block-granularity alignment.
+        ``horizon`` (multi-column scheduling) is the smallest virtual
+        time of the *other* running columns: this column executes
+        superblock after superblock and hands control back as soon as its
+        own virtual time passes it (``None`` runs unthrottled to EXIT).
+        Fused self-loops without a closed-form plan are additionally
+        capped so one loop run stops just past the horizon; loops **with**
+        a closed-form plan complete in a single advance however far ahead
+        that lands them — their trip count is proven to depend only on
+        column-private state, and the launch was admitted conflict-free,
+        so the other columns cannot observe the difference.
         """
-        entry = self.table.get(self.pc)
-        if entry is None:
-            raise _past_end_error(self.column.index, self.pc)
-        fn, n_cycles, index, exit_next, is_loop = entry
-        if is_loop:
-            limit = (max_cycles - self.steps) // n_cycles
-            if limit <= 0:
-                raise _budget_error(kernel_name, max_cycles)
-            if horizon is not None:
-                limit = min(
-                    limit, max(1, (horizon - self.steps) // n_cycles + 1)
-                )
-            self.pc, trips = fn(limit)
-            self.counts[index] += trips
-            self.steps += trips * n_cycles
-            return True
-        if self.steps + n_cycles > max_cycles:
-            raise _budget_error(kernel_name, max_cycles)
-        self.counts[index] += 1
-        self.steps += n_cycles
-        pc = fn()
-        if pc < 0:
-            self.pc = exit_next
-            return False
-        self.pc = pc
-        return True
+        table = self.table
+        counts = self.counts
+        steps = self.steps
+        pc = self.pc
+        try:
+            while True:
+                entry = table.get(pc)
+                if entry is None:
+                    raise _past_end_error(self.column.index, pc)
+                fn, n_cycles, index, exit_next, is_loop, closed = entry
+                if is_loop:
+                    limit = (max_cycles - steps) // n_cycles
+                    if limit <= 0:
+                        raise _budget_error(kernel_name, max_cycles)
+                    if horizon is not None and not closed:
+                        limit = min(
+                            limit, max(1, (horizon - steps) // n_cycles + 1)
+                        )
+                    pc, trips = fn(limit)
+                    counts[index] += trips
+                    steps += trips * n_cycles
+                    if closed:
+                        self.loops_accelerated += 1
+                        self.trips_accelerated += trips
+                else:
+                    if steps + n_cycles > max_cycles:
+                        raise _budget_error(kernel_name, max_cycles)
+                    counts[index] += 1
+                    steps += n_cycles
+                    pc = fn()
+                    if pc < 0:
+                        pc = exit_next
+                        return False
+                if horizon is not None and steps > horizon:
+                    return True
+        finally:
+            # Persist progress even when aborting (budget / address
+            # errors), so the error-path event fold sees it.
+            self.steps = steps
+            self.pc = pc
 
     def flush(self, events) -> None:
         """Fold the execution histogram into the shared event tally and
-        sync the column's architectural bookkeeping (also on aborts)."""
-        totals = {}
-        counts = self.counts
-        for blk in self.compiled.blocks:
-            count = counts[blk.index]
-            if not count:
-                continue
-            for name, n in blk.delta:
-                totals[name] = totals.get(name, 0) + n * count
+        sync the column's architectural bookkeeping (also on aborts).
+
+        One integer mat-vec over the per-superblock static event matrix
+        (:func:`repro.engine.deltas.delta_matrix`) when NumPy is present;
+        the dictionary walk otherwise — identical totals either way.
+        """
+        compiled = self.compiled
+        key = tuple(self.counts)
+        totals = self._fold_memo.get(key)
+        if totals is None:
+            if _np is not None:
+                folded = _np.asarray(key, dtype=_np.int64) \
+                    @ compiled.event_matrix
+                totals = {
+                    name: int(total)
+                    for name, total in zip(compiled.event_names, folded)
+                    if total
+                }
+            else:
+                totals = {}
+                for blk in compiled.blocks:
+                    count = key[blk.index]
+                    if not count:
+                        continue
+                    for name, n in blk.delta:
+                        totals[name] = totals.get(name, 0) + n * count
+            if len(self._fold_memo) > 64:
+                self._fold_memo.clear()
+            self._fold_memo[key] = totals
         events.add_many(totals)
         self.column.steps = self.steps
         self.column.pc = self.pc
@@ -243,9 +316,43 @@ class BoundColumn:
         for blk in self.compiled.blocks:
             count = self.counts[blk.index]
             if count:
-                for pc in range(blk.leader, blk.leader + blk.n_cycles):
-                    histogram[pc] += count
+                for leader, n_cycles, _ in blk.members:
+                    for pc in range(leader, leader + n_cycles):
+                        histogram[pc] += count
         return histogram
+
+    def block_histogram(self) -> tuple:
+        """Executed basic blocks as ``(column, leader, count, delta)`` rows.
+
+        Superblocks expand to their member blocks (each member executes
+        exactly once per superblock execution), so the rows stay at
+        basic-block granularity — the unit the histogram-native energy
+        fold (:meth:`repro.energy.EnergyModel.fold_histogram`) attributes
+        pJ to.
+        """
+        key = tuple(self.counts)
+        rows = self._hist_memo.get(key)
+        if rows is None:
+            column = self.column.index
+            rows = []
+            for blk in self.compiled.blocks:
+                count = key[blk.index]
+                if count:
+                    for leader, _, delta in blk.members:
+                        rows.append((column, leader, count, delta))
+            rows = tuple(rows)
+            if len(self._hist_memo) > 64:
+                self._hist_memo.clear()
+            self._hist_memo[key] = rows
+        return rows
+
+    def superblock_stats(self) -> dict:
+        """Closed-form loop accounting of the last run."""
+        return {
+            "accelerated_loops": self.loops_accelerated,
+            "accelerated_trips": self.trips_accelerated,
+            "vectorized_loops": self.vec_counter[0],
+        }
 
 
 def _mode_shuffle(mode, slice_words, a, b):
@@ -336,7 +443,7 @@ class CompiledEngine:
             raise ProgramError(
                 f"engine divergence on kernel {name!r}: the compiled "
                 f"engine aborted ({fault}) but the reference replay "
-                f"completed; please report"
+                "completed; please report"
             ) from fault
         except BaseException:
             # Non-simulation aborts (e.g. KeyboardInterrupt) still account
@@ -344,19 +451,33 @@ class CompiledEngine:
             for bound in bounds:
                 bound.flush(vwr2a.events)
             raise
+        superblocks = {
+            "accelerated_loops": 0,
+            "accelerated_trips": 0,
+            "vectorized_loops": 0,
+        }
+        histogram = []
         for bound in bounds:
             bound.finish(vwr2a.events)
+            for stat, value in bound.superblock_stats().items():
+                superblocks[stat] += value
+            histogram.extend(bound.block_histogram())
+        self.last_run_info = RunInfo(
+            "compiled", None, (), superblocks, tuple(histogram)
+        )
         return cycles
 
     @staticmethod
     def _interleave(bounds, name, max_cycles) -> int:
         """Virtual-time scheduling: the column with the smallest cycle
-        count advances by one block, so columns stay aligned to within a
-        basic block of each other (the reference interleaves per cycle).
-        Fused self-loops are capped at the next column's virtual time so
-        a loop cannot race ahead of the other running columns; once only
-        one column is still running it executes unthrottled (done columns
-        no longer step in the reference either)."""
+        count advances whole superblocks until its virtual time passes
+        the smallest of the other running columns' (the reference
+        interleaves per cycle; the conflict analysis proves the coarser
+        alignment unobservable). Fused self-loops without a closed-form
+        trip plan are capped at that horizon so one run cannot race
+        arbitrarily far ahead; once only one column is still running it
+        executes unthrottled to EXIT (done columns no longer step in the
+        reference either)."""
         running = list(bounds)
         while running:
             best = running[0]
@@ -366,7 +487,7 @@ class CompiledEngine:
                     best, horizon = bound, best.steps
                 elif horizon is None or bound.steps < horizon:
                     horizon = bound.steps
-            if not best.advance(name, max_cycles, horizon):
+            if not best.run_until(name, max_cycles, horizon):
                 running.remove(best)
         return max(bound.steps for bound in bounds)
 
@@ -381,6 +502,9 @@ class AutoEngine:
     reference interpreter, bit-identically to ``engine="reference"``. The
     decision is surfaced on ``RunResult.engine`` /
     ``RunResult.fallback_reason`` / ``RunResult.spm_conflicts``.
+    ``Vwr2a.run`` hands the verdict down from its per-config cache
+    (``config_mem.stats.analysis_hits``), so warm launches skip the
+    analysis memo lookup entirely.
     """
 
     name = "auto"
@@ -401,9 +525,11 @@ class AutoEngine:
         """
         return self.compiled.decisions + self.reference.decisions
 
-    def run_kernel(self, vwr2a, name, active, max_cycles) -> int:
-        report = analyze_active(active, vwr2a.params) \
-            if len(active) > 1 else EMPTY_REPORT
+    def run_kernel(self, vwr2a, name, active, max_cycles,
+                   report=None) -> int:
+        if report is None:
+            report = analyze_active(active, vwr2a.params) \
+                if len(active) > 1 else EMPTY_REPORT
         if report.conflicts:
             self.last_run_info = RunInfo(
                 "reference", report.reason(), report.conflicts

@@ -10,7 +10,7 @@ instruction per RC, as in Table 1 of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.lcu import LCU_NOP, LCUInstr
 from repro.isa.lsu import LSU_NOP, LSUInstr, LSUOp

@@ -51,7 +51,7 @@ class ColumnProgram:
                 if not 0 <= bundle.lcu.target < len(self.bundles):
                     raise ValueError(
                         f"bundle {pc}: branch target {bundle.lcu.target} "
-                        f"outside program"
+                        "outside program"
                     )
 
     def listing(self) -> str:

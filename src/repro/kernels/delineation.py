@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.arch import ArchParams
 from repro.core.errors import ConfigurationError
-from repro.isa.fields import DST_R0, DST_R1, R0, R1, dst_srf, imm, srf
+from repro.isa.fields import DST_R0, DST_R1, R0, R1, dst_srf, imm
 from repro.isa.lcu import addi, bge, blt, jump, ldsrf, seti
 from repro.isa.lsu import ld_srf, set_srf, st_srf
 from repro.isa.program import KernelConfig

@@ -19,11 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch import ArchParams
-from repro.core.errors import ConfigurationError
 from repro.isa.fields import DST_R0, R0, R1, DST_R1, dst_srf, imm, srf
-from repro.isa.lcu import addi, blt, jump, seti
-from repro.isa.lsu import ld_srf, set_srf, st_srf
+from repro.isa.lcu import addi, blt, seti
+from repro.isa.lsu import ld_srf, st_srf
 from repro.isa.program import ColumnProgram, KernelConfig
 from repro.isa.rc import RCOp, rc
 from repro.kernels.macro import ColumnKernelBuilder

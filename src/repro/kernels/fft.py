@@ -50,7 +50,7 @@ scaling is needed up to N = 2048 and the kernel is bit-exact against
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch import ArchParams
 from repro.core.errors import ConfigurationError
@@ -407,7 +407,7 @@ class FftPlan:
             raise ConfigurationError(
                 f"FFT-{self.n} layout needs {total} SPM lines, have "
                 f"{self.params.spm_lines}; use resident_tables=False or "
-                f"the split-transform path"
+                "the split-transform path"
             )
         self.scratch_line = total - scratch_lines
 

@@ -15,7 +15,7 @@ from repro.asm.builder import ProgramBuilder
 from repro.core.errors import ProgramError
 from repro.isa.lcu import LCU_NOP, addi, blt, seti
 from repro.isa.lsu import LSU_NOP, set_srf
-from repro.isa.mxcu import MXCU_NOP, inck, setk
+from repro.isa.mxcu import inck, setk
 from repro.isa.rc import RCInstr
 
 
@@ -77,7 +77,7 @@ class ColumnKernelBuilder:
             positions = slice_words
         if positions % 2 != 0 or positions <= 0:
             raise ProgramError(
-                f"vector_pass needs a positive even position count, "
+                "vector_pass needs a positive even position count, "
                 f"got {positions}"
             )
         slots = self._rc_slots(rcs)

@@ -16,7 +16,7 @@ from repro.core.errors import ConfigurationError
 from repro.isa.fields import DST_VWR_C, VWR_A, VWR_B, Vwr, srf
 from repro.isa.lsu import ld_vwr, st_vwr
 from repro.isa.program import ColumnProgram, KernelConfig
-from repro.isa.rc import RCInstr, RCOp, rc
+from repro.isa.rc import RCOp, rc
 from repro.kernels.macro import ColumnKernelBuilder
 
 #: SRF register allocation of the vector kernels.
@@ -40,7 +40,7 @@ def plan_split(params: ArchParams, n_words: int) -> VectorPlan:
     line_words = params.line_words
     if n_words % line_words != 0:
         raise ConfigurationError(
-            f"vector kernels operate on whole lines "
+            "vector kernels operate on whole lines "
             f"({line_words} words); got {n_words}"
         )
     n_lines = n_words // line_words

@@ -89,7 +89,7 @@ class PoolWorkerError(SimulationError):
         )
         super().__init__(
             f"{who} failed{where} "
-            f"(completed windows are checkpointed when a checkpoint is "
+            "(completed windows are checkpointed when a checkpoint is "
             f"configured):\n{details}"
         )
         self.worker_id = worker_id

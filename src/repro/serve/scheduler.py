@@ -181,9 +181,25 @@ class StreamScheduler:
             soc.cpu.active_cycles + soc.cpu.sleep_cycles - cpu_before
         )
         energy_uj = None
-        if self.energy_model is not None \
-                and getattr(app, "steps", None) is not None:
-            energy_uj = app_energy_uj(self.energy_model, self.config, app)
+        kernel_energy = None
+        if self.energy_model is not None:
+            if getattr(app, "steps", None) is not None:
+                energy_uj = app_energy_uj(
+                    self.energy_model, self.config, app
+                )
+            # Histogram-native per-kernel attribution: fold each compiled
+            # launch's static block deltas straight to pJ (no event-dict
+            # materialization; reference-fallback launches carry no
+            # histogram and are attributed nothing here).
+            kernel_energy = {}
+            for result in log[log_start:]:
+                if result.block_histogram:
+                    folded = self.energy_model.fold_histogram(
+                        (delta, count)
+                        for _, _, count, delta in result.block_histogram
+                    ).total_pj
+                    kernel_energy[result.name] = \
+                        kernel_energy.get(result.name, 0.0) + folded
         return WindowResult(
             index=window.index,
             start=window.start,
@@ -198,4 +214,5 @@ class StreamScheduler:
                 runner.staging_cycles["out"] - staging_before["out"]
             ),
             energy_uj=energy_uj,
+            kernel_energy_pj=kernel_energy,
         )

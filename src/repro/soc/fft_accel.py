@@ -136,7 +136,7 @@ class FftAccelerator:
             raise ConfigurationError("re/im length mismatch")
         if not is_power_of_two(n) or not 4 <= n <= MAX_POINTS:
             raise ConfigurationError(
-                f"the accelerator supports power-of-two sizes 4..4096, "
+                "the accelerator supports power-of-two sizes 4..4096, "
                 f"got {n}"
             )
 

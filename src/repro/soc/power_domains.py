@@ -15,7 +15,7 @@ energy model multiplies those by per-domain leakage.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import ConfigurationError
 
@@ -55,7 +55,7 @@ class PowerManager:
         if not self._domains[domain].powered:
             raise ConfigurationError(
                 f"power domain {domain.value!r} is gated; power it on "
-                f"before use"
+                "before use"
             )
 
     def advance(self, cycles: int) -> None:

@@ -112,5 +112,5 @@ class BankedSram:
         if not self._bank_on[bank]:
             raise AddressError(
                 f"SRAM bank {bank} is power-gated; address {addr} is "
-                f"inaccessible until the bank is powered up"
+                "inaccessible until the bank is powered up"
             )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch import DEFAULT_PARAMS
 from repro.asm import (
     AsmError,
     ProgramBuilder,
@@ -15,9 +14,7 @@ from repro.core import Vwr2a
 from repro.core.errors import ProgramError
 from repro.isa import KernelConfig, LCUOp, LSUOp, MXCUOp, RCOp, ShuffleMode
 from repro.isa.encoding import encode_bundle
-from repro.isa.lcu import blt, exit_, seti
-from repro.isa.rc import rc
-from repro.isa.fields import DST_VWR_C, VWR_A, VWR_B
+from repro.isa.lcu import blt, seti
 
 
 class TestBuilder:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch import DEFAULT_PARAMS
 from repro.core import StructuralHazardError, Vwr2a
 from repro.core.hazards import check_bundle
 from repro.asm.builder import ProgramBuilder
@@ -11,7 +10,6 @@ from repro.isa.fields import (
     DST_R0,
     DST_VWR_A,
     DST_VWR_C,
-    R0,
     RCB,
     RCT,
     VWR_A,
@@ -20,7 +18,7 @@ from repro.isa.fields import (
     imm,
     srf,
 )
-from repro.isa.lcu import addi, blt, exit_, ldsrf, seti
+from repro.isa.lcu import addi, blt, ldsrf, seti
 from repro.isa.lsu import ld_srf, ld_vwr, set_srf, shuf, st_srf, st_vwr
 from repro.isa.mxcu import inck, setk
 from repro.isa.rc import RCOp, rc

@@ -119,3 +119,81 @@ def test_report_component_scoping(model):
     accel = model.accel_report(events, 10)
     assert "datapath" not in accel.by_component
     assert set(vwr2a.by_component) <= set(VWR2A_COMPONENTS)
+
+
+# ---------------------------------------------------------------------------
+# Histogram-native folding (the superblock-tier energy fast path)
+# ---------------------------------------------------------------------------
+
+def _compiled_fft_launches():
+    """Kernel launches of a compiled FFT-256 flow (with histograms)."""
+    from repro.kernels import FftEngine, KernelRunner
+    from repro.soc.platform import BiosignalSoC
+
+    runner = KernelRunner(soc=BiosignalSoC(engine="compiled"))
+    log = []
+    runner.launch_log = log
+    signal = [((i * 37 + (i * i) % 211) % 2000) - 1000 for i in range(256)]
+    FftEngine(runner, 256).run(signal, signal[::-1])
+    return log
+
+
+def test_fold_histogram_equals_per_event_energy(model):
+    """Differential: histogram-folded == per-event energy, per launch."""
+    launches = _compiled_fft_launches()
+    assert launches
+    for result in launches:
+        assert result.block_histogram  # compiled path carries histograms
+        materialized = {}
+        for _, _, count, delta in result.block_histogram:
+            for name, n in delta:
+                materialized[name] = materialized.get(name, 0) + n * count
+        folded = model.fold_histogram(
+            (delta, count)
+            for _, _, count, delta in result.block_histogram
+        )
+        direct = model.report(
+            materialized, cycles=0, powered_components=()
+        )
+        assert set(folded.by_component) == set(direct.by_component)
+        for component, pj in direct.by_component.items():
+            assert folded.by_component[component] == pytest.approx(
+                pj, rel=1e-9
+            )
+
+
+def test_fold_histogram_leakage_matches_report(model):
+    histogram = (((Ev.RC_ALU_ADD, 3), (Ev.SRF_READ, 1)), 10),
+    folded = model.fold_histogram(
+        histogram, cycles=500, powered_components=("datapath", "control")
+    )
+    direct = model.report(
+        {Ev.RC_ALU_ADD: 30, Ev.SRF_READ: 10}, 500,
+        powered_components=("datapath", "control"),
+    )
+    for component, pj in direct.by_component.items():
+        assert folded.by_component[component] == pytest.approx(pj)
+    assert folded.cycles == direct.cycles == 500
+
+
+def test_run_result_block_attribution_sums_to_launch_energy(model):
+    launches = _compiled_fft_launches()
+    result = max(launches, key=lambda r: len(r.block_histogram))
+    per_block = result.energy_by_block(model)
+    assert per_block  # (column, leader) -> component pJ
+    totals = {}
+    for folded in per_block.values():
+        for component, pj in folded.items():
+            totals[component] = totals.get(component, 0.0) + pj
+    launch_totals = result.energy_pj(model)
+    assert set(totals) == set(launch_totals)
+    for component, pj in launch_totals.items():
+        assert totals[component] == pytest.approx(pj, rel=1e-9)
+
+
+def test_reference_launches_fold_to_nothing(model):
+    from repro.core.cgra import RunResult
+
+    empty = RunResult(name="r", cycles=1, config_cycles=0, column_steps={})
+    assert empty.energy_pj(model) == {}
+    assert empty.energy_by_block(model) == {}

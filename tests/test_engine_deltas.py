@@ -1,0 +1,215 @@
+"""Isolation tests for the static event-delta layer and the scheduler.
+
+``bundle_event_delta`` is asserted against the reference interpreter one
+bundle class at a time (every unit, operand kind and op family), instead
+of only through whole-kernel differentials; ``delta_matrix`` is asserted
+against the per-entry dictionary fold; and the virtual-time scheduler's
+column-interleaving order (least virtual time first, horizon = smallest
+other running column) is pinned down explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.asm.builder import ProgramBuilder
+from repro.core.cgra import Vwr2a
+from repro.core.column import Column
+from repro.core.events import EventCounters
+from repro.core.spm import Scratchpad
+from repro.engine import executor
+from repro.engine.deltas import bundle_event_delta, delta_matrix
+from repro.isa.bundle import make_bundle
+from repro.isa.fields import (
+    DST_R0,
+    DST_R1,
+    DST_VWR_B,
+    DST_VWR_C,
+    R0,
+    R1,
+    RCB,
+    RCT,
+    VWR_A,
+    ShuffleMode,
+    Vwr,
+    dst_srf,
+    imm,
+    srf,
+)
+from repro.isa.lcu import LCU_NOP, addi, beq, blt, exit_, jump, ldsrf, seti
+from repro.isa.lsu import ld_srf, ld_vwr, set_srf, shuf, st_srf, st_vwr
+from repro.isa.mxcu import MXCUInstr, MXCUOp, inck, setk
+from repro.isa.program import ColumnProgram, KernelConfig
+from repro.isa.rc import RCOp, rc
+
+PARAMS = ArchParams()
+
+
+def _reference_delta(bundle) -> dict:
+    """Events one reference execution of ``bundle`` logs, in isolation."""
+    events = EventCounters()
+    spm = Scratchpad(PARAMS.spm_lines, PARAMS.line_words, events)
+    column = Column(0, PARAMS, spm, events)
+    program = ColumnProgram(
+        bundles=[bundle],
+        # Valid SPM addresses for the LSU classes under test.
+        srf_init={0: 3, 1: 17, 2: 2, 3: -7},
+    )
+    column.load(program)
+    before = events.snapshot()
+    column.step()
+    return events.diff(before)
+
+
+#: One bundle per delta class: (label, bundle).
+BUNDLE_CASES = [
+    ("empty", make_bundle()),
+    ("rc_alu_classes", make_bundle(rcs=[
+        rc(RCOp.SADD, DST_R0, VWR_A, imm(3)),
+        rc(RCOp.SMUL, DST_R1, imm(-2), imm(9)),
+        rc(RCOp.SRA, DST_VWR_B, VWR_A, imm(2)),
+        rc(RCOp.LXOR, DST_VWR_C, VWR_A, imm(0xF)),
+    ], n_rcs=4)),
+    ("rc_reg_and_neighbour_reads", make_bundle(rcs=[
+        rc(RCOp.SADD, DST_R0, R0, R1),
+        rc(RCOp.MOV, DST_R1, RCT),
+        rc(RCOp.SMAX, DST_VWR_C, RCB, R0),
+        rc(RCOp.LNOT, dst_srf(5), R1),
+    ], n_rcs=4)),
+    ("rc_srf_broadcast_dedup", make_bundle(rcs=[
+        # One broadcast SRF read per distinct entry, not per consumer.
+        rc(RCOp.SADD, DST_R0, srf(3), imm(1)),
+        rc(RCOp.SSUB, DST_R0, srf(3), imm(2)),
+        rc(RCOp.SMIN, DST_R1, srf(2), srf(3)),
+        rc(RCOp.FXPMUL16, DST_VWR_B, srf(2), imm(7)),
+    ], n_rcs=4)),
+    ("mxcu_setk", make_bundle(mxcu=setk(5))),
+    ("mxcu_upd_imm", make_bundle(mxcu=inck(2, and_mask=7, xor_mask=1))),
+    ("mxcu_upd_srf_mask", make_bundle(
+        mxcu=MXCUInstr(op=MXCUOp.UPD, inc=1, srf_and=2),
+    )),
+    ("lsu_ld_vwr_inc", make_bundle(lsu=ld_vwr(Vwr.A, 0, inc=1))),
+    ("lsu_st_vwr_noinc", make_bundle(lsu=st_vwr(Vwr.B, 0))),
+    ("lsu_ld_srf", make_bundle(lsu=ld_srf(1, 4, inc=2))),
+    ("lsu_st_srf", make_bundle(lsu=st_srf(1, 2, inc=1))),
+    ("lsu_set_srf", make_bundle(lsu=set_srf(6, 1234))),
+    ("lsu_shuffle", make_bundle(lsu=shuf(ShuffleMode.BITREV_LO))),
+    ("lcu_seti", make_bundle(lcu=seti(0, 11))),
+    ("lcu_addi", make_bundle(lcu=addi(0, -3))),
+    ("lcu_ldsrf", make_bundle(lcu=ldsrf(1, 2))),
+    ("lcu_jump", make_bundle(lcu=jump(0))),
+    ("lcu_branch_imm", make_bundle(lcu=blt(0, 99, 0))),
+    ("lcu_branch_reg", make_bundle(lcu=beq(0, ("reg", 1), 0))),
+    ("lcu_branch_sr", make_bundle(lcu=blt(0, ("srf", 2), 0))),
+    ("lcu_exit", make_bundle(lcu=exit_())),
+]
+
+
+class TestBundleDeltas:
+    @pytest.mark.parametrize(
+        "bundle", [case[1] for case in BUNDLE_CASES],
+        ids=[case[0] for case in BUNDLE_CASES],
+    )
+    def test_static_delta_matches_reference_step(self, bundle):
+        assert bundle_event_delta(bundle, PARAMS) \
+            == _reference_delta(bundle)
+
+
+class TestDeltaMatrix:
+    def test_matrix_fold_equals_dictionary_fold(self):
+        deltas = [
+            tuple(sorted(bundle_event_delta(case[1], PARAMS).items()))
+            for case in BUNDLE_CASES
+        ]
+        events, rows = delta_matrix(deltas)
+        counts = list(range(1, len(deltas) + 1))
+
+        walked = {}
+        for delta, count in zip(deltas, counts):
+            for name, n in delta:
+                walked[name] = walked.get(name, 0) + n * count
+        folded = {}
+        for position, name in enumerate(events):
+            total = sum(
+                row[position] * count for row, count in zip(rows, counts)
+            )
+            if total:
+                folded[name] = total
+        assert folded == {k: v for k, v in walked.items() if v}
+
+    def test_matrix_shape(self):
+        events, rows = delta_matrix([(("a.b", 2),), (("c.d", 1),)])
+        assert events == ("a.b", "c.d")
+        assert rows == [[2, 0], [0, 1]]
+
+
+def _two_column_config(params) -> KernelConfig:
+    """Asymmetric two-column kernel (different virtual-time profiles)."""
+    columns = {}
+    for col, bound in enumerate((5, 17)):
+        b = ProgramBuilder(n_rcs=params.rcs_per_column)
+        b.emit(lcu=seti(0, 0))
+        b.label("loop")
+        b.emit(rcs=[rc(RCOp.SADD, DST_R0, R0, imm(col + 1))]
+               * params.rcs_per_column, lcu=addi(0, 1))
+        b.emit(lcu=blt(0, bound, "loop"))
+        b.emit(lcu=LCU_NOP)
+        b.exit()
+        columns[col] = b.build()
+    return KernelConfig(name="order", columns=columns)
+
+
+class TestSchedulerInterleavingOrder:
+    def test_least_virtual_time_column_advances_first(self, monkeypatch):
+        calls = []
+        original = executor.BoundColumn.run_until
+
+        def recording(self, name, max_cycles, horizon=None):
+            before = self.steps
+            alive = original(self, name, max_cycles, horizon)
+            calls.append(
+                (self.column.index, before, horizon, self.steps, alive)
+            )
+            return alive
+
+        monkeypatch.setattr(executor.BoundColumn, "run_until", recording)
+        sim = Vwr2a(engine="compiled")
+        sim.execute(_two_column_config(sim.params))
+
+        assert calls, "multi-column kernel must go through the scheduler"
+        # Replay the scheduler's contract: at every pick, the chosen
+        # column's virtual time is minimal among running columns, the
+        # horizon equals the smallest of the *other* running columns',
+        # and the column hands control back just past that horizon.
+        steps = {0: 0, 1: 0}
+        running = {0, 1}
+        for index, before, horizon, after, alive in calls:
+            assert index in running
+            assert before == steps[index]
+            others = [steps[c] for c in running if c != index]
+            if others:
+                assert before <= min(others)
+                assert horizon == min(others)
+            else:
+                assert horizon is None
+            if alive:
+                assert after > horizon
+            else:
+                running.remove(index)
+            steps[index] = after
+
+    def test_single_column_bypasses_the_scheduler(self, monkeypatch):
+        called = []
+        monkeypatch.setattr(
+            executor.CompiledEngine, "_interleave",
+            staticmethod(
+                lambda *args: called.append(args) or 0
+            ),
+        )
+        sim = Vwr2a(engine="compiled")
+        b = ProgramBuilder(n_rcs=sim.params.rcs_per_column)
+        b.emit(lcu=seti(0, 0))
+        b.exit()
+        sim.execute(KernelConfig(name="one", columns={0: b.build()}))
+        assert called == []

@@ -37,7 +37,7 @@ from repro.isa import (
 )
 from repro.isa.fields import Dest, dst_srf, imm, srf
 from repro.isa.lcu import blt, exit_, jump, seti
-from repro.isa.lsu import ld_vwr, set_srf, shuf, st_vwr
+from repro.isa.lsu import ld_vwr, set_srf, shuf
 from repro.isa.rc import rc
 
 

@@ -1,7 +1,6 @@
 """FFT plan properties, kernel program budgets, and report rendering."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.arch import DEFAULT_PARAMS
 from repro.baselines import lowpass_taps_q15
@@ -16,7 +15,6 @@ from repro.kernels.fft import (
     stage_table_lines,
 )
 from repro.kernels.fir import build_fir_kernel, plan_fir
-from repro.utils.bits import clog2
 
 
 class TestTwiddleMath:

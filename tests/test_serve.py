@@ -202,6 +202,40 @@ class TestStreamBitIdentity:
         )
         assert report.windows[0].energy_uj is None
         assert report.total_energy_uj is None
+        assert report.windows[0].kernel_energy_pj is None
+        assert report.energy_by_kernel == {}
+
+    def test_per_kernel_energy_attribution(self, streamed):
+        # Histogram-native attribution: every compiled launch folds its
+        # static block deltas; the per-window map must equal folding the
+        # launches directly, and the stream aggregate must sum windows.
+        from repro.energy import default_model
+
+        model = default_model()
+        for win in streamed.windows:
+            assert win.kernel_energy_pj
+            expected = {}
+            for result in win.launches:
+                folded = model.fold_histogram(
+                    (delta, count)
+                    for _, _, count, delta in result.block_histogram
+                ).total_pj
+                expected[result.name] = \
+                    expected.get(result.name, 0.0) + folded
+            assert win.kernel_energy_pj == pytest.approx(expected)
+        aggregate = streamed.energy_by_kernel
+        assert set(aggregate) == {
+            name for w in streamed.windows for name in w.kernel_energy_pj
+        }
+        for name, pj in aggregate.items():
+            assert pj == pytest.approx(sum(
+                w.kernel_energy_pj.get(name, 0.0)
+                for w in streamed.windows
+            ))
+        # Attribution covers datapath events only — it must stay below
+        # the full window energy model (which adds leakage, DMA, CPU).
+        total_uj = sum(aggregate.values()) * 1e-6
+        assert 0 < total_uj < streamed.total_energy_uj
 
     def test_energy_follows_the_pipeline_config(self, trace):
         # A pipeline declaring its configuration wins over the scheduler

@@ -6,7 +6,6 @@ SADD16 / SSUB16 / FXPMUL16 ALU ops: two packed signed 16-bit lanes per
 32-bit word, which doubles elementwise q15 throughput per VWR pass.
 """
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.arch import DEFAULT_PARAMS

@@ -324,14 +324,35 @@ class TestAutoSelection:
 
 
 class TestAnalysisCaching:
-    def test_regenerated_kernels_hit_the_report_memo(self):
+    def test_regenerated_kernels_reuse_the_cached_verdict(self):
         sim = Vwr2a()
         config = elementwise_kernel(sim.params, RCOp.SSUB, 512, 0, 4, 8)
         sim.execute(config)
         before = dict(conflicts.ANALYSIS_STATS)
-        # A structurally identical, freshly generated config: the analysis
-        # must be a dictionary hit, with zero new footprint computations.
+        hits_before = sim.config_mem.stats.analysis_hits
+        # A structurally identical, freshly generated config dedupes in
+        # the store cache onto the stored config object, whose stamped
+        # verdict makes the launch a plain attribute read: zero new
+        # footprint computations, zero report-memo lookups.
         sim.execute(elementwise_kernel(sim.params, RCOp.SSUB, 512, 0, 4, 8))
+        after = conflicts.ANALYSIS_STATS
+        assert after["footprint_misses"] == before["footprint_misses"]
+        assert after["report_misses"] == before["report_misses"]
+        assert sim.config_mem.stats.analysis_hits > hits_before
+        assert sim.config_mem.stats.analysis_misses == 1
+
+    def test_report_memo_backs_fresh_config_objects(self):
+        # The conflicts-module memo still serves analyses that bypass the
+        # runner-level verdict cache (fresh KernelConfig objects analyzed
+        # directly, e.g. by a different platform instance).
+        sim = Vwr2a()
+        config = elementwise_kernel(sim.params, RCOp.SSUB, 512, 0, 4, 8)
+        sim.store_kernel(config)  # stamps the structural fingerprints
+        conflicts.analyze_columns(config.columns, sim.params)
+        before = dict(conflicts.ANALYSIS_STATS)
+        regenerated = elementwise_kernel(sim.params, RCOp.SSUB, 512, 0, 4, 8)
+        sim.store_kernel(regenerated)
+        conflicts.analyze_columns(regenerated.columns, sim.params)
         after = conflicts.ANALYSIS_STATS
         assert after["footprint_misses"] == before["footprint_misses"]
         assert after["report_misses"] == before["report_misses"]

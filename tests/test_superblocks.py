@@ -1,0 +1,371 @@
+"""Differential tests for the superblock tier.
+
+Closed-form fused loops, the NumPy steady state (lane-broadcast and
+per-cell), the runtime guards that drop back to the exact scalar loop
+(counter wrap-around, read-modify-write index reuse), straight-line chain
+fusion, and the RunResult superblock counters — every scenario asserted
+bit-identical against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.asm.builder import ProgramBuilder
+from repro.core.cgra import Vwr2a
+from repro.engine import superblocks
+from repro.engine.compiler import compile_program, superblock_chains
+from repro.isa.fields import (
+    DST_R0,
+    DST_VWR_B,
+    DST_VWR_C,
+    R0,
+    VWR_A,
+    VWR_B,
+    VWR_C,
+    Vwr,
+    imm,
+    srf,
+)
+from repro.isa.lcu import addi, bge, blt, jump, ldsrf, seti
+from repro.isa.lsu import ld_vwr, st_vwr
+from repro.isa.mxcu import inck, setk
+from repro.isa.program import KernelConfig
+from repro.isa.rc import RCOp, rc
+
+ENGINES = ("reference", "compiled")
+
+
+@pytest.fixture
+def low_vec_threshold(monkeypatch):
+    """Drop the lane vectorization floor below one slice lap.
+
+    The default 32-word slice cannot host >= 96 distinct trips, so the
+    read-modify-write guard would always fall back; lowering the floor
+    (a compile-time constant read while planning) lets short hazard
+    loops take the vector path. The compile memo is cleared so plans are
+    regenerated under the patched threshold, and again afterwards so no
+    low-threshold compilation leaks into other tests.
+    """
+    from repro.engine import compiler
+
+    monkeypatch.setattr(superblocks, "VEC_MIN_TRIPS_LANES", 4)
+    compiler._MEMO.clear()
+    yield
+    compiler._MEMO.clear()
+
+
+def _full_state(sim: Vwr2a) -> dict:
+    col = sim.columns[0]
+    return {
+        "events": sim.events.snapshot(),
+        "spm": sim.spm.peek_words(0, sim.params.spm_words // 4),
+        "vwrs": {v: col.vwr_words(v) for v in col.vwrs},
+        "srf": [col.srf.peek(e) for e in range(sim.params.srf_entries)],
+        "rc_regs": [list(r) for r in col.rc_regs],
+        "rc_out": list(col.rc_out),
+        "lcu_regs": list(col.lcu_regs),
+        "k": col.k,
+        "pc": col.pc,
+    }
+
+
+def _run_both(config_builder, params=None, poke=None):
+    """Execute one kernel on both engines; return per-engine states."""
+    states = {}
+    results = {}
+    for engine in ENGINES:
+        sim = Vwr2a(engine=engine) if params is None \
+            else Vwr2a(params=params, engine=engine)
+        if poke is not None:
+            poke(sim)
+        config = config_builder(sim.params)
+        results[engine] = sim.execute(config)
+        states[engine] = _full_state(sim)
+    assert states["reference"] == states["compiled"]
+    ref, cmp_ = results["reference"], results["compiled"]
+    assert ref.cycles == cmp_.cycles
+    assert ref.column_steps == cmp_.column_steps
+    return results["compiled"]
+
+
+def _poke_ramp(sim: Vwr2a) -> None:
+    sim.spm.poke_words(
+        0, [((i * 31) % 2001) - 1000 for i in range(1024)]
+    )
+
+
+def _broadcast_loop(params, trips, op=RCOp.SADD, dst=DST_VWR_C,
+                    update=None, extra_rcs=None):
+    """One fused self-loop: load A/B, run `trips` broadcast trips, store."""
+    b = ProgramBuilder(n_rcs=params.rcs_per_column)
+    b.srf(0, 0)
+    b.srf(1, 1)
+    b.srf(2, 2)
+    b.emit(lsu=ld_vwr(Vwr.A, 0))
+    b.emit(lsu=ld_vwr(Vwr.B, 1), lcu=seti(0, 0),
+           mxcu=setk(params.slice_words - 1))
+    b.label("loop")
+    rcs = extra_rcs if extra_rcs is not None \
+        else [rc(op, dst, VWR_A, VWR_B)] * params.rcs_per_column
+    b.emit(rcs=rcs, mxcu=update if update is not None else inck(
+        1, and_mask=params.slice_words - 1), lcu=addi(0, 1))
+    b.emit(lcu=blt(0, trips, "loop"))
+    b.emit(lsu=st_vwr(Vwr.C, 2))
+    b.exit()
+    return KernelConfig(name="sbloop", columns={0: b.build()})
+
+
+class TestClosedFormLoops:
+    def test_counted_scalar_loop_bit_identity(self):
+        # 16 trips: below every vectorization threshold — the counted
+        # scalar path (no per-trip branch evaluation) must be exact.
+        result = _run_both(
+            lambda p: _broadcast_loop(p, 16), poke=_poke_ramp
+        )
+        assert result.superblocks["accelerated_loops"] == 1
+        assert result.superblocks["accelerated_trips"] == 16
+        assert result.superblocks["vectorized_loops"] == 0
+
+    def test_lane_vectorized_loop_bit_identity(self):
+        # 128 trips on the default 32-word slice: the index sequence laps
+        # the slice 4x, so the scatter carries duplicate indices — NumPy's
+        # in-order assignment must reproduce last-write-wins exactly.
+        result = _run_both(
+            lambda p: _broadcast_loop(p, 128), poke=_poke_ramp
+        )
+        assert result.superblocks["vectorized_loops"] == 1
+        assert result.superblocks["accelerated_trips"] == 128
+
+    def test_lane_vectorized_simd16_and_xor_orbit(self):
+        # Non-affine index update (AND+XOR masks) exercises the orbit
+        # walk; FXPMUL16 exercises the vectorized SIMD16 lanes.
+        result = _run_both(
+            lambda p: _broadcast_loop(
+                p, 100, op=RCOp.FXPMUL16,
+                update=inck(3, and_mask=29, xor_mask=5),
+            ),
+            poke=_poke_ramp,
+        )
+        assert result.superblocks["vectorized_loops"] == 1
+
+    def test_per_cell_vectorized_loop_bit_identity(self):
+        # Distinct per-cell instructions: the lane lift bails, the
+        # per-cell generator takes over above its higher threshold.
+        def rcs(params):
+            return [
+                rc(RCOp.SADD, DST_VWR_C, VWR_A, VWR_B),
+                rc(RCOp.SSUB, DST_VWR_C, VWR_A, VWR_B),
+                rc(RCOp.SMAX, DST_VWR_C, VWR_A, VWR_B),
+                rc(RCOp.LXOR, DST_VWR_C, VWR_A, VWR_B),
+            ]
+
+        result = _run_both(
+            lambda p: _broadcast_loop(
+                p, superblocks.VEC_MIN_TRIPS + 10, extra_rcs=rcs(p)
+            ),
+            poke=_poke_ramp,
+        )
+        assert result.superblocks["vectorized_loops"] == 1
+
+    def test_hazard_guard_vector_path_executes(self, low_vec_threshold):
+        # Butterfly shape (reads VB, writes VB), 20 trips on the 32-word
+        # slice: every trip touches a fresh index, so the distinctness
+        # guard admits the gather of loop-entry state.
+        result = _run_both(
+            lambda p: _broadcast_loop(p, 20, dst=DST_VWR_B),
+            poke=_poke_ramp,
+        )
+        assert result.superblocks["vectorized_loops"] == 1
+
+    def test_hazard_guard_falls_back_on_index_reuse(
+        self, low_vec_threshold
+    ):
+        # Same butterfly, 48 trips: the index sequence laps the slice,
+        # the guard must reject the gather and the scalar loop runs.
+        result = _run_both(
+            lambda p: _broadcast_loop(p, 48, dst=DST_VWR_B),
+            poke=_poke_ramp,
+        )
+        assert result.superblocks["vectorized_loops"] == 0
+        assert result.superblocks["accelerated_trips"] == 48
+
+    def test_counter_wrap_falls_back_to_exact_loop(self):
+        # The counter starts near INT32_MAX and wraps mid-loop: the
+        # closed form is invalid, the runtime range guard must route the
+        # run through the per-trip loop (which wraps exactly).
+        def config(params):
+            b = ProgramBuilder(n_rcs=params.rcs_per_column)
+            b.srf(4, 2**31 - 40)  # SETI immediates are narrow; SRF isn't
+            b.emit(lcu=ldsrf(0, 4))
+            b.label("loop")
+            b.emit(rcs=[rc(RCOp.SADD, DST_R0, R0, imm(1))]
+                   * params.rcs_per_column, lcu=addi(0, 7))
+            b.emit(lcu=bge(0, 100, "loop"))  # wraps negative, then exits
+            b.exit()
+            return KernelConfig(name="wrap", columns={0: b.build()})
+
+        result = _run_both(config)
+        assert result.superblocks["accelerated_loops"] == 1
+
+    def test_data_dependent_loop_bails_out_mid_kernel(self):
+        # First loop closed-form; second loop's bound is loaded from the
+        # SPM via LDSRF every trip — unprovable, runs per-trip, and the
+        # whole kernel stays bit-identical.
+        def config(params):
+            b = ProgramBuilder(n_rcs=params.rcs_per_column)
+            b.srf(0, 0)
+            b.srf(1, 1)
+            b.srf(2, 2)
+            b.srf(3, 5)  # SPM word holding the data-dependent bound
+            b.emit(lsu=ld_vwr(Vwr.A, 0))
+            b.emit(lsu=ld_vwr(Vwr.B, 1), lcu=seti(0, 0),
+                   mxcu=setk(params.slice_words - 1))
+            b.label("fast")
+            b.emit(rcs=[rc(RCOp.SADD, DST_VWR_C, VWR_A, VWR_B)]
+                   * params.rcs_per_column, mxcu=inck(1), lcu=addi(0, 1))
+            b.emit(lcu=blt(0, 16, "fast"))
+            b.emit(lcu=seti(0, 0))
+            b.label("slow")
+            b.emit(lcu=ldsrf(1, 3))     # bound <- SRF[3] (data-derived)
+            b.emit(rcs=[rc(RCOp.SSUB, DST_VWR_C, VWR_C, imm(1))]
+                   * params.rcs_per_column, mxcu=inck(1), lcu=addi(0, 1))
+            b.emit(lcu=blt(0, ("reg", 1), "slow"))
+            b.emit(lsu=st_vwr(Vwr.C, 2))
+            b.exit()
+            return KernelConfig(name="mixed", columns={0: b.build()})
+
+        def poke(sim):
+            _poke_ramp(sim)
+            sim.spm.poke_words(5, [9])
+
+        result = _run_both(config, poke=poke)
+        # Only the first loop is provable; the LDSRF loop ran per-trip.
+        assert result.superblocks["accelerated_loops"] == 1
+
+    def test_srf_bound_loop_is_closed_form(self):
+        def config(params):
+            b = ProgramBuilder(n_rcs=params.rcs_per_column)
+            b.srf(0, 0)
+            b.srf(1, 1)
+            b.srf(2, 2)
+            b.srf(3, 21)  # loop bound held in the SRF (loop-invariant)
+            b.emit(lsu=ld_vwr(Vwr.A, 0))
+            b.emit(lsu=ld_vwr(Vwr.B, 1), lcu=seti(0, 0),
+                   mxcu=setk(params.slice_words - 1))
+            b.label("loop")
+            b.emit(rcs=[rc(RCOp.SMIN, DST_VWR_C, VWR_A, srf(3))]
+                   * params.rcs_per_column, mxcu=inck(1), lcu=addi(0, 1))
+            b.emit(lcu=blt(0, ("srf", 3), "loop"))
+            b.emit(lsu=st_vwr(Vwr.C, 2))
+            b.exit()
+            return KernelConfig(name="srfbound", columns={0: b.build()})
+
+        result = _run_both(config, poke=_poke_ramp)
+        assert result.superblocks["accelerated_trips"] == 21
+
+
+class TestChainFusion:
+    def test_jump_chain_fuses_into_one_superblock(self):
+        params = ArchParams()
+        b = ProgramBuilder(n_rcs=params.rcs_per_column)
+        b.emit(rcs=[rc(RCOp.MOV, DST_R0, imm(3))] * 4, lcu=jump("mid"))
+        b.label("end")
+        b.emit(rcs=[rc(RCOp.SADD, DST_R0, R0, imm(5))] * 4)
+        b.exit()
+        b.label("mid")
+        b.emit(rcs=[rc(RCOp.SMUL, DST_R0, R0, imm(2))] * 4,
+               lcu=jump("end"))
+        program = b.build()
+        compiled = compile_program(program, params)
+        # Three basic blocks, one fused superblock spanning all of them.
+        assert len(compiled.blocks) == 1
+        assert len(compiled.blocks[0].members) == 3
+
+        states = {}
+        for engine in ENGINES:
+            sim = Vwr2a(engine=engine)
+            sim.execute(KernelConfig(name="chain", columns={0: program}))
+            states[engine] = _full_state(sim)
+        assert states["reference"] == states["compiled"]
+
+    def test_branch_target_blocks_stay_dispatchable(self):
+        # A chain must not swallow a block that another branch targets:
+        # the loop back-edge lands on "head", so "head" cannot be fused
+        # into its predecessor.
+        params = ArchParams()
+        b = ProgramBuilder(n_rcs=params.rcs_per_column)
+        b.emit(lcu=seti(0, 0))
+        b.label("head")
+        b.emit(rcs=[rc(RCOp.SADD, DST_R0, R0, imm(1))] * 4)
+        b.emit(lcu=addi(0, 1))
+        b.emit(lcu=blt(0, 5, "head"))
+        b.exit()
+        program = b.build()
+        chains = superblock_chains(tuple(program.bundles))
+        leaders = [chain[0][0] for chain in chains]
+        assert 1 in leaders  # "head" leads its own (loop) superblock
+
+        states = {}
+        for engine in ENGINES:
+            sim = Vwr2a(engine=engine)
+            sim.execute(KernelConfig(name="multi", columns={0: program}))
+            states[engine] = _full_state(sim)
+        assert states["reference"] == states["compiled"]
+
+    def test_multi_block_loop_fuses_and_accelerates(self):
+        # Tail branches back to the chain head: the whole chain becomes
+        # one fused self-loop with a closed-form plan.
+        params = ArchParams()
+        b = ProgramBuilder(n_rcs=params.rcs_per_column)
+        b.emit(lcu=seti(0, 0), mxcu=setk(0))
+        b.label("head")
+        b.emit(rcs=[rc(RCOp.SADD, DST_R0, R0, imm(2))] * 4,
+               lcu=jump("tail"))
+        b.label("tail")
+        b.emit(rcs=[rc(RCOp.SSUB, DST_R0, R0, imm(1))] * 4,
+               lcu=addi(0, 1))
+        b.emit(lcu=blt(0, 40, "head"))
+        b.exit()
+        program = b.build()
+        compiled = compile_program(program, params)
+        loops = [blk for blk in compiled.blocks if blk.is_loop]
+        assert len(loops) == 1
+        assert len(loops[0].members) == 2
+        assert loops[0].closed_form
+
+        results = {}
+        states = {}
+        for engine in ENGINES:
+            sim = Vwr2a(engine=engine)
+            results[engine] = sim.execute(
+                KernelConfig(name="nest", columns={0: program})
+            )
+            states[engine] = _full_state(sim)
+        assert states["reference"] == states["compiled"]
+        assert results["compiled"].superblocks["accelerated_trips"] == 40
+
+    def test_pc_histogram_covers_superblock_members(self):
+        sim = Vwr2a(engine="compiled")
+        config = _broadcast_loop(sim.params, 16)
+        result = sim.execute(config)
+        bound = sim._engine._bind(sim.columns[0])
+        assert sum(bound.pc_histogram()) == result.column_steps[0]
+
+
+class TestRunResultSuperblocks:
+    def test_reference_runs_carry_no_superblock_data(self):
+        sim = Vwr2a(engine="reference")
+        result = sim.execute(_broadcast_loop(sim.params, 16))
+        assert result.superblocks is None
+        assert result.block_histogram == ()
+
+    def test_block_histogram_counts_match_column_steps(self):
+        sim = Vwr2a(engine="compiled")
+        result = sim.execute(_broadcast_loop(sim.params, 16))
+        total = sum(
+            count * dict(delta).get("column.cycle", 0)
+            for _, _, count, delta in result.block_histogram
+        )
+        assert total == result.column_steps[0]
