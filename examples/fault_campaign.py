@@ -1,0 +1,75 @@
+"""Chaos serving: fault injection, self-healing, and a campaign sweep.
+
+Three acts over the full MBioTracker ``cpu_vwr2a`` pipeline:
+
+1. a seeded :class:`~repro.faults.FaultPlan` SIGKILLs a pool worker and
+   flips SPM bits mid-stream — the supervised pool respawns, retries,
+   and the merged report is bit-identical to an uninjected baseline;
+2. a hard (persistent) fault exhausts the retry ladder — the window is
+   quarantined into ``failed_windows`` instead of aborting the stream;
+3. a :class:`~repro.faults.FaultCampaign` sweeps fault kinds and prints
+   its contract verdict (the same sweep CI runs via
+   ``python -m repro.faults``).
+
+Run with: ``PYTHONPATH=src python examples/fault_campaign.py``
+"""
+
+from __future__ import annotations
+
+from repro.app import WINDOW, respiration_signal
+from repro.faults import FaultCampaign, FaultPlan, FaultSpec
+from repro.serve import PoolScheduler, StreamScheduler, WindowStream
+
+N_WINDOWS = 4
+WORKERS = 2
+SEED = 2021
+
+
+def main() -> None:
+    trace = respiration_signal(N_WINDOWS * WINDOW)
+    stream = WindowStream(trace, window=WINDOW)
+
+    print("== uninjected baseline (sequential) ==")
+    baseline = StreamScheduler(config="cpu_vwr2a", energy_model=True) \
+        .run(stream)
+    print(baseline.summary())
+
+    print("\n== chaos: seeded worker kills + SPM bit-flips, "
+          f"{WORKERS}-worker pool ==")
+    plan = FaultPlan.generate(
+        SEED, stream.n_windows,
+        {"worker_kill": 0.4, "spm_bitflip": 0.8},
+    )
+    print(f"plan: {plan!r}")
+    report = PoolScheduler(
+        config="cpu_vwr2a", workers=WORKERS, energy_model=True,
+        fault_plan=plan, max_retries=2, respawn_limit=4,
+    ).run(stream)
+    print(report.summary())
+    print(f"bit-identical to baseline: "
+          f"{report.identical_to(baseline) is None}")
+
+    print("\n== a hard fault: persistent stuck-at word, retries "
+          "exhausted ==")
+    hard = FaultPlan(specs=(
+        FaultSpec(kind="spm_stuck", window=1, addr=8, value=-1,
+                  persist=99),
+    ))
+    survived = StreamScheduler(
+        config="cpu_vwr2a", energy_model=True,
+        fault_plan=hard, max_retries=1, reference_fallback=False,
+    ).run(stream)
+    print(survived.summary())
+    for failed in survived.failed_windows:
+        print(f"quarantined window {failed.index}: {failed.detail}")
+
+    print("\n== campaign sweep (what CI's chaos job runs) ==")
+    campaign = FaultCampaign(
+        kinds=("spm_bitflip", "chunk_corrupt", "worker_kill"),
+        rates=(0.5,), seed=SEED, workers=WORKERS, max_retries=2,
+    )
+    print(campaign.run(trace).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,28 @@ class ConfigurationError(SimulationError):
     """Bad kernel configuration (unknown kernel, oversized program...)."""
 
 
+class BrownoutError(SimulationError):
+    """A power domain browned out (was forced off) mid-execution.
+
+    Raised by :class:`repro.soc.power_domains.PowerManager` when an armed
+    brownout fuse (:meth:`~repro.soc.power_domains.PowerManager.schedule_brownout`,
+    the fault-injection hook of :mod:`repro.faults`) trips while time is
+    being charged to the domain — i.e. in the middle of a kernel, DMA
+    transfer or CPU phase that had the domain powered. The serving layer
+    treats it as a detected, retryable fault (docs/robustness.md), never
+    as a simulator bug.
+    """
+
+    def __init__(self, domain, cycles_in: int) -> None:
+        name = getattr(domain, "value", domain)
+        super().__init__(
+            f"power domain {name!r} browned out {cycles_in} cycles into "
+            "the current phase (injected fault; the domain is now gated)"
+        )
+        self.domain = domain
+        self.cycles_in = cycles_in
+
+
 class SpmConflictError(SimulationError):
     """A kernel's columns communicate through the SPM mid-kernel.
 

@@ -102,6 +102,42 @@ class Scratchpad:
         # In-place: the compiled engine's closures capture this list.
         self._data[:] = state
 
+    # -- fault injection (no events) ----------------------------------------
+    #
+    # Hooks for repro.faults: faults mutate the backing store in place, so
+    # both the reference interpreter and the compiled engine's closures
+    # (which capture ``_data`` directly) observe them. Injection returns
+    # the displaced word so the injector can heal the cell afterwards —
+    # the model for ECC scrub-on-detect. No events are recorded: an upset
+    # is not architectural activity.
+
+    def inject_bitflip(self, addr: int, bit: int) -> int:
+        """Flip one bit of the word at ``addr``; returns the original word."""
+        self._check_word(addr)
+        if not 0 <= bit < 32:
+            raise AddressError(f"bit index {bit} out of range [0, 32)")
+        original = self._data[addr]
+        self._data[addr] = to_signed32(original ^ (1 << bit))
+        return original
+
+    def inject_stuck(self, addr: int, value: int) -> int:
+        """Force the word at ``addr`` to ``value``; returns the original.
+
+        A stuck-at cell keeps reasserting itself: the injector re-applies
+        this at every kernel-launch boundary while the fault is armed, so
+        writes that land on the cell are lost again before the next
+        kernel reads it.
+        """
+        self._check_word(addr)
+        original = self._data[addr]
+        self._data[addr] = to_signed32(value)
+        return original
+
+    def heal_word(self, addr: int, value: int) -> None:
+        """Restore a word displaced by an injection (scrub; no events)."""
+        self._check_word(addr)
+        self._data[addr] = to_signed32(value)
+
     # -- debug/test accessors (no events) ----------------------------------
 
     def peek_words(self, addr: int, count: int) -> list:

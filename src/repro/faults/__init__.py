@@ -1,0 +1,51 @@
+"""Fault injection and chaos campaigns for the serving stack.
+
+The resilience layer of docs/robustness.md, in three pieces:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — deterministic, seeded fault
+  schedules over a window stream: SPM bit-flips and stuck-at words,
+  power-domain brownouts, corrupted/truncated trace chunks, and worker
+  kills/hangs (:mod:`repro.faults.plan`);
+* :class:`FaultInjector` — executes a plan against one live platform,
+  one serving attempt at a time, healing everything it displaced so
+  retries are bit-identical (:mod:`repro.faults.injector`);
+* :class:`FaultCampaign` — sweeps fault kinds × rates × persistence
+  over the self-healing :class:`~repro.serve.PoolScheduler` and checks
+  the resilience contract: recoverable faults leave no trace in the
+  results, unrecoverable ones are explicitly quarantined
+  (:mod:`repro.faults.campaign`; also ``python -m
+  repro.faults.campaign`` for the CI smoke job).
+"""
+
+from repro.faults.campaign import (
+    CampaignCell,
+    CampaignReport,
+    FaultCampaign,
+    served_identical,
+)
+from repro.faults.injector import FaultInjector, is_fault_failure
+from repro.faults.plan import (
+    CHUNK_FAULTS,
+    FAULT_KINDS,
+    POWER_FAULTS,
+    PROCESS_FAULTS,
+    SPM_FAULTS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "CHUNK_FAULTS",
+    "CampaignCell",
+    "CampaignReport",
+    "FAULT_KINDS",
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "POWER_FAULTS",
+    "PROCESS_FAULTS",
+    "SPM_FAULTS",
+    "is_fault_failure",
+    "served_identical",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.faults`` — run a seeded chaos campaign."""
+
+from repro.faults.campaign import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""Per-attempt fault injection and healing on a live platform.
+
+A :class:`FaultInjector` executes a :class:`~repro.faults.FaultPlan`
+against one :class:`~repro.kernels.KernelRunner`'s platform, one serving
+*attempt* at a time:
+
+``begin_attempt`` looks up the faults scheduled for the window that still
+fire at this attempt (``FaultSpec.fires``), applies chunk faults to the
+window's samples, arms the power-domain brownout fuse, hooks SPM upsets
+onto the runner's kernel-launch boundary, and — in pool workers only —
+executes process faults (kill/hang). ``end_attempt`` disarms everything,
+heals the SPM (scrub-on-detect: every injection recorded its displaced
+word), restores browned-out domains, and reports which fault kinds fired.
+
+**Detection model.** The serving layer does not guess at corruption: a
+fault that fired *is* the detection signal, standing in for the parity/
+ECC flags and power-good monitors such an SoC carries. Any attempt whose
+injector reports fired faults (or that died of a
+:class:`~repro.core.errors.BrownoutError`) is discarded and retried;
+because transient faults stop firing after ``persist`` attempts and the
+injector healed the platform, the retry is clean and bit-identical to an
+uninjected run. See docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.core.errors import BrownoutError, ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.serve.stream import corrupt_chunk, truncate_chunk
+from repro.soc.power_domains import Domain
+
+#: Exception types that classify a failed attempt as fault-induced even
+#: when the injector's fired record alone would not (the brownout raises
+#: from inside the platform rather than returning corrupt data).
+FAULT_ERRORS = (BrownoutError,)
+
+
+def is_fault_failure(exc: BaseException, fired: tuple) -> bool:
+    """Whether a failed serving attempt should be retried as a fault."""
+    return bool(fired) or isinstance(exc, FAULT_ERRORS)
+
+
+class FaultInjector:
+    """Drives a :class:`FaultPlan` against one runner, attempt by attempt.
+
+    ``process_faults`` gates the self-destructive kinds: only pool
+    workers enable it — a sequential :class:`~repro.serve.StreamScheduler`
+    would kill or hang the host process, so there those specs are counted
+    under ``skipped`` instead of executed.
+    """
+
+    def __init__(self, plan: FaultPlan, process_faults: bool = False) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise ConfigurationError(
+                f"FaultInjector needs a FaultPlan, got {type(plan).__name__}"
+            )
+        self.plan = plan
+        self.process_faults = process_faults
+        #: Lifetime tally of fired fault kinds (observability/campaigns).
+        self.counters = {}
+        #: Process-fault specs ignored because process_faults is off.
+        self.skipped = 0
+        #: Called right before a process fault executes. Pool workers
+        #: install a results-queue flush here: SIGKILL landing while the
+        #: queue's feeder thread is mid-write would leave a torn message
+        #: in the pipe and deadlock the host's next read, so every
+        #: already-reported result must be fully on the wire first.
+        self.before_process_fault = None
+        self._runner = None
+        self._fired = []
+        self._heal = []        # (addr, original) SPM words to scrub back
+        self._stuck = []       # (spec) stuck cells reasserted per launch
+        self._pending = []     # SPM specs waiting for their launch index
+        self._launches = 0
+        self._brownout_domain = None
+
+    # -- attempt lifecycle ---------------------------------------------------
+
+    def begin_attempt(self, runner, window, attempt: int,
+                      engine: str = "auto"):
+        """Arm every fault of ``window`` that fires at ``attempt``.
+
+        Returns the window to actually serve — chunk faults corrupt or
+        truncate its samples, everything else passes it through. Process
+        faults execute immediately (never returning, by design).
+        """
+        self._runner = runner
+        self._fired = []
+        self._heal = []
+        self._stuck = []
+        self._pending = []
+        self._launches = 0
+        self._brownout_domain = None
+        for spec in self.plan.for_window(window.index):
+            if not spec.fires(attempt, engine):
+                continue
+            kind = spec.kind
+            if kind in ("worker_kill", "worker_hang"):
+                if not self.process_faults:
+                    self.skipped += 1
+                    continue
+                self._record(kind)
+                if self.before_process_fault is not None:
+                    self.before_process_fault()
+                if kind == "worker_kill":
+                    _kill_self()
+                else:
+                    _hang_self()
+            elif kind == "chunk_corrupt":
+                self._record(kind)
+                window = corrupt_chunk(window, spec.offset, spec.xor_mask)
+            elif kind == "chunk_truncate":
+                self._record(kind)
+                window = truncate_chunk(window, spec.keep)
+            elif kind == "brownout":
+                self._record(kind)
+                domain = Domain(spec.domain)
+                self._brownout_domain = domain
+                runner.soc.power.schedule_brownout(
+                    domain, spec.after_cycles
+                )
+            else:  # spm_bitflip / spm_stuck wait for their launch
+                self._pending.append(spec)
+        if self._pending:
+            runner.fault_hook = self._on_launch
+        return window
+
+    def end_attempt(self) -> tuple:
+        """Disarm, heal, and report the attempt's fired fault kinds.
+
+        Healing order is deliberate: stuck cells stop reasserting first,
+        then displaced words are scrubbed back newest-first, the brownout
+        fuse is cleared and its domain repowered. After this the platform
+        is exactly as an uninjected attempt would have left it — the
+        bit-identity of fault-free retries depends on it.
+        """
+        runner, self._runner = self._runner, None
+        if runner is None:
+            return ()
+        runner.fault_hook = None
+        self._stuck = []
+        self._pending = []
+        spm = runner.soc.vwr2a.spm
+        for addr, original in reversed(self._heal):
+            spm.heal_word(addr, original)
+        self._heal = []
+        power = runner.soc.power
+        power.cancel_brownout()
+        if self._brownout_domain is not None:
+            power.power_on(self._brownout_domain)
+            self._brownout_domain = None
+        fired, self._fired = tuple(self._fired), []
+        return fired
+
+    # -- launch-boundary hook ------------------------------------------------
+
+    def _on_launch(self, name: str) -> None:
+        """Land armed SPM faults at their kernel-launch boundary.
+
+        Called by :meth:`KernelRunner.launch` right before every kernel
+        of the attempt. Bit-flips strike once, at the first boundary at
+        or past their ``at_launch``; stuck cells strike at theirs and
+        then reassert at every later boundary, so kernel writes to the
+        cell are lost again before the next reader. A spec whose
+        boundary is never reached (kernel-free pipeline) does not fire —
+        an upset in memory nobody launches against is unobservable.
+        """
+        spm = self._runner.soc.vwr2a.spm
+        index = self._launches
+        self._launches += 1
+        still_pending = []
+        for spec in self._pending:
+            if index < spec.at_launch:
+                still_pending.append(spec)
+                continue
+            self._record(spec.kind)
+            if spec.kind == "spm_bitflip":
+                original = spm.inject_bitflip(spec.addr, spec.bit)
+            else:
+                original = spm.inject_stuck(spec.addr, spec.value)
+                self._stuck.append(spec)
+            self._heal.append((spec.addr, original))
+        self._pending = still_pending
+        for spec in self._stuck:
+            spm.inject_stuck(spec.addr, spec.value)
+
+    def _record(self, kind: str) -> None:
+        self._fired.append(kind)
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+
+
+def _kill_self() -> None:
+    """Die the way hostile hardware dies: without a traceback."""
+    if hasattr(signal, "SIGKILL"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(137)  # deliberate silent death: no atexit, no traceback
+
+
+def _hang_self() -> None:
+    """Stop making progress until the supervisor's hang-kill arrives."""
+    while True:
+        time.sleep(3600)

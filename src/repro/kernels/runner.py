@@ -77,6 +77,11 @@ class KernelRunner:
         #: When set to a list, every ``launch`` appends its RunResult —
         #: how the stream scheduler observes per-window engine decisions.
         self.launch_log = None
+        #: When set to a callable, it runs right before every kernel
+        #: launch with the kernel name — the injection point
+        #: :class:`repro.faults.FaultInjector` uses to land SPM upsets
+        #: and reassert stuck-at cells at launch boundaries.
+        self.fault_hook = None
 
     # -- SRAM staging ----------------------------------------------------------
 
@@ -183,6 +188,8 @@ class KernelRunner:
         was stored beforehand; ``RunResult.engine`` records whether the
         launch ran compiled or fell back to the reference interpreter.
         """
+        if self.fault_hook is not None:
+            self.fault_hook(name)
         result = self.soc.run_vwr2a_kernel(name, max_cycles=max_cycles)
         if self.launch_log is not None:
             self.launch_log.append(result)

@@ -34,8 +34,9 @@ proof to the process pool and kill-and-resume runs).
 
 from repro.core.errors import ConfigurationError
 from repro.serve.checkpoint import CheckpointState, StreamCheckpoint
-from repro.serve.pool import PoolScheduler, PoolWorkerError
+from repro.serve.pool import PoolScheduler, PoolWorkerError, describe_exit
 from repro.serve.report import (
+    FailedWindow,
     StreamReport,
     WindowResult,
     app_energy_uj,
@@ -91,6 +92,7 @@ def serve_trace(trace, config: str = "cpu_vwr2a", window: int = None,
 
 __all__ = [
     "CheckpointState",
+    "FailedWindow",
     "ParameterSweep",
     "PoolScheduler",
     "PoolWorkerError",
@@ -103,6 +105,7 @@ __all__ = [
     "WindowResult",
     "WindowStream",
     "app_energy_uj",
+    "describe_exit",
     "merge_counts",
     "serve_trace",
     "step_energy_uj",

@@ -27,12 +27,14 @@ import os
 import pickle
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field, is_dataclass
 
 from repro.core.errors import ConfigurationError
 
 #: Bump when CheckpointState stops being readable by older code.
-FORMAT_VERSION = 1
+#: v2 added the quarantine ledger (``failed``) and resilience counters.
+FORMAT_VERSION = 2
 
 
 def describe(obj) -> str:
@@ -150,10 +152,22 @@ class CheckpointState:
     store_stats: dict = field(default_factory=dict)
     #: serving wall-clock accumulated over all sessions.
     wall_seconds: float = 0.0
+    #: window index -> FailedWindow of every quarantined window. A
+    #: session accounts a stream complete when results + failed cover
+    #: it; a *resume* clears this ledger first and re-attempts the
+    #: quarantined windows — quarantine is a per-session verdict, not a
+    #: permanent one (the faults that caused it may be gone).
+    failed: dict = field(default_factory=dict)
+    #: resilience counters accumulated over all sessions/workers.
+    resilience: dict = field(default_factory=dict)
 
     @property
     def n_done(self) -> int:
         return len(self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed)
 
     @property
     def n_windows(self) -> int:
@@ -161,7 +175,8 @@ class CheckpointState:
 
     @property
     def complete(self) -> bool:
-        return self.n_done >= self.n_windows
+        """Every window is accounted for — served or quarantined."""
+        return self.n_done + self.n_failed >= self.n_windows
 
 
 class StreamCheckpoint:
@@ -190,11 +205,30 @@ class StreamCheckpoint:
     # -- persistence --------------------------------------------------------
 
     def load(self) -> CheckpointState:
-        """The saved state, or ``None`` when no checkpoint exists yet."""
+        """The saved state, or ``None`` when no checkpoint exists yet.
+
+        A corrupted or truncated file — a crash mid-write on a filesystem
+        without atomic replace, torn storage, or plain bit rot — is
+        treated as *no checkpoint*, with an explicit warning: the stream
+        re-serves from scratch rather than surfacing an unpickling
+        traceback hours into a resume. A file that unpickles cleanly but
+        is the wrong type or format version still raises — that is a
+        usage error, not damage.
+        """
         if not os.path.exists(self.path):
             return None
-        with open(self.path, "rb") as handle:
-            state = pickle.load(handle)
+        try:
+            with open(self.path, "rb") as handle:
+                state = pickle.load(handle)
+        except Exception as exc:
+            warnings.warn(
+                f"checkpoint {self.path!r} is corrupted or truncated "
+                f"({type(exc).__name__}: {exc}); starting the stream "
+                "fresh",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         if not isinstance(state, CheckpointState):
             raise ConfigurationError(
                 f"{self.path!r} is not a stream checkpoint"
@@ -229,7 +263,14 @@ class StreamCheckpoint:
         return state
 
     def save(self, state: CheckpointState) -> None:
-        """Atomically write ``state`` to :attr:`path`."""
+        """Atomically and durably write ``state`` to :attr:`path`.
+
+        The temp file is fsynced before the atomic replace — without it,
+        a power loss after ``os.replace`` can leave the *name* pointing
+        at unwritten data, which is exactly the torn checkpoint
+        :meth:`load` then has to discard. The directory entry is synced
+        too (best-effort; not every filesystem supports it).
+        """
         directory = os.path.dirname(os.path.abspath(self.path))
         handle, tmp_path = tempfile.mkstemp(
             dir=directory, prefix=".checkpoint-", suffix=".tmp"
@@ -237,7 +278,18 @@ class StreamCheckpoint:
         try:
             with os.fdopen(handle, "wb") as tmp:
                 pickle.dump(state, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+                tmp.flush()
+                os.fsync(tmp.fileno())
             os.replace(tmp_path, self.path)
+            try:
+                dir_fd = os.open(directory, os.O_RDONLY)
+            except OSError:
+                pass
+            else:
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
         except BaseException:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
@@ -272,11 +324,24 @@ def resume_session(checkpoint, fingerprint: dict):
     """Coerce a path into a :class:`StreamCheckpoint` and load its state.
 
     Returns ``(checkpoint, state)``; the one entry point both schedulers
-    use, so resume validation cannot drift between them.
+    use, so resume validation cannot drift between them. Windows the
+    previous session quarantined are released for re-attempt: the fault
+    conditions that exhausted their retries (a hostile fault plan, a
+    dying host) do not necessarily hold in this session, and a resume is
+    the natural amnesty point. Their failure pedigree stays in the
+    resilience counters.
     """
     if not isinstance(checkpoint, StreamCheckpoint):
         checkpoint = StreamCheckpoint(checkpoint)
-    return checkpoint, checkpoint.resume(fingerprint)
+    state = checkpoint.resume(fingerprint)
+    if state.failed:
+        from repro.serve.report import merge_counts
+
+        merge_counts(
+            state.resilience, {"requarantine_released": len(state.failed)}
+        )
+        state.failed.clear()
+    return checkpoint, state
 
 
 def flush_session(state: CheckpointState, checkpoint,
@@ -305,10 +370,13 @@ def finalize_session(report, state: CheckpointState, checkpoint,
     """
     for index in sorted(state.results):
         report.add_window(state.results[index])
+    for index in sorted(state.failed):
+        report.add_failed(state.failed[index])
     if served:
         state.wall_seconds = wall_base + time.perf_counter() - wall_start
         if checkpoint is not None:
             checkpoint.save(state)
     report.wall_seconds = state.wall_seconds
     report.store_stats = dict(state.store_stats)
+    report.resilience = dict(state.resilience)
     return report

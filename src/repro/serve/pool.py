@@ -30,13 +30,25 @@ a path) to :meth:`PoolScheduler.run` persists completed windows as their
 results arrive; a killed run resumes mid-stream — with any worker count,
 or even under the single-process scheduler — and the final report is
 bit-identical to an uninterrupted one.
+
+**Supervision.** Workers are expendable: the host tracks every window it
+dispatched (per-worker task queues, in-flight ledgers), detects dead
+workers by liveness/exit-code and hung ones by progress timeout, respawns
+them within ``respawn_limit``, and walks spoiled windows down a bounded
+retry ladder (``max_retries`` primary attempts, then one
+reference-engine attempt) before quarantining them into
+:attr:`StreamReport.failed_windows`. Deterministic chaos campaigns over
+this machinery live in :mod:`repro.faults`; the taxonomy and semantics
+are documented in docs/robustness.md.
 """
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
 import pickle
 import queue
+import signal as _signal
 import sys
 import threading
 import time
@@ -45,7 +57,7 @@ from dataclasses import dataclass
 
 from repro.app.mbiotracker import window_pipeline
 from repro.core.errors import ConfigurationError, SimulationError
-from repro.kernels.runner import RunnerFactory
+from repro.kernels.runner import KernelRunner, RunnerFactory
 from repro.serve.checkpoint import (
     CheckpointState,
     finalize_session,
@@ -53,12 +65,58 @@ from repro.serve.checkpoint import (
     resume_session,
     stream_fingerprint,
 )
-from repro.serve.report import StreamReport, merge_counts
+from repro.serve.report import FailedWindow, StreamReport, merge_counts
 from repro.serve.scheduler import StreamScheduler
 from repro.serve.stream import Window, WindowStream
 
 #: Seconds between liveness checks while waiting on worker results.
 _POLL_SECONDS = 0.1
+
+
+def describe_exit(exitcode) -> str:
+    """Diagnose a dead worker's exit code for humans.
+
+    Signal deaths (:mod:`multiprocessing` reports them as negative exit
+    codes; shells as ``128 + signum``) are named, with an explicit hint
+    for SIGKILL — the one the OOM killer, a fault plan's ``worker_kill``
+    and an external ``kill -9`` all share. A clean zero exit without a
+    final report is called out too: it usually means the worker's result
+    queue was torn down under it.
+    """
+    if exitcode is None:
+        return "still running"
+    if exitcode == 0:
+        return (
+            "exit code 0 — the worker exited cleanly without reporting "
+            "(result queue torn down?)"
+        )
+    signum = None
+    if exitcode < 0:
+        signum = -exitcode
+    elif exitcode > 128:
+        signum = exitcode - 128
+    if signum is not None:
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        hint = ""
+        if signum == getattr(_signal, "SIGKILL", 9):
+            hint = (
+                " — killed hard: the kernel OOM killer, a fault plan's "
+                "worker_kill, or an external kill -9"
+            )
+        return f"died on {name}{hint}"
+    return f"exited with code {exitcode}"
+
+
+def _drain_queue(q) -> None:
+    """Best-effort drain so queue feeder threads never block shutdown."""
+    try:
+        while True:
+            q.get_nowait()
+    except (queue.Empty, OSError, ValueError):
+        pass
 
 
 def _default_start_method() -> str:
@@ -107,10 +165,22 @@ class _WorkerSpec:
     energy_model: object
     runner_factory: object
     warm_samples: tuple
+    fault_plan: object = None
 
 
-def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results) -> None:
-    """Worker process body: own platform, serve windows until sentinel."""
+def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results,
+                 stop) -> None:
+    """Worker process body: own platform, one serving *attempt* per task.
+
+    Tasks are ``(index, start, samples, attempt, force_reference)``
+    tuples on this worker's private queue; the worker serves exactly one
+    attempt and reports ``"ok"`` (clean result), ``"retry"`` (an
+    injected fault spoiled the attempt — the host owns the retry
+    ladder) or ``"err"`` (a genuine pipeline exception, which aborts the
+    pool as it always did). ``force_reference`` attempts run on a
+    lazily-built reference-engine twin platform. The worker exits when
+    the host sets ``stop``, reporting ``"fin"`` with its engine.
+    """
     # Exception (not BaseException) throughout: KeyboardInterrupt /
     # SystemExit must kill the worker outright — the host's liveness
     # polling reports dead workers — rather than be wrapped as a
@@ -130,27 +200,97 @@ def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results) -> None:
             runner.warm(scheduler.pipeline, spec.warm_samples)
         stats = runner.soc.vwr2a.config_mem.stats
         engine = runner.soc.vwr2a.engine
+        injector = None
+        is_fault_failure = None
+        if spec.fault_plan is not None:
+            from repro.faults.injector import (
+                FaultInjector,
+                is_fault_failure,
+            )
+
+            injector = FaultInjector(spec.fault_plan, process_faults=True)
+
+            def _flush_results() -> None:
+                # About to die or hang on purpose: push every buffered
+                # result fully onto the wire first, or SIGKILL can tear
+                # a half-written message and wedge the host's reader.
+                results.close()
+                results.join_thread()
+
+            injector.before_process_fault = _flush_results
+        ref = None  # lazily-built (scheduler, log, stats) reference twin
     except Exception:
         results.put(("crash", worker_id, traceback.format_exc()))
         return
-    while True:
-        task = tasks.get()
-        if task is None:
-            break
-        window = Window(index=task[0], start=task[1], samples=task[2])
+    while not stop.is_set():
+        try:
+            task = tasks.get(timeout=_POLL_SECONDS)
+        except queue.Empty:
+            continue
+        index, start, samples, attempt, force_reference = task
+        window = Window(index=index, start=start, samples=samples)
+        serve, serve_log, serve_stats = scheduler, log, stats
+        serve_engine = engine
+        if force_reference:
+            if ref is None:
+                ref_runner = KernelRunner(engine="reference")
+                ref_log = []
+                ref_runner.launch_log = ref_log
+                ref = (
+                    StreamScheduler(
+                        config=spec.config,
+                        runner=ref_runner,
+                        pipeline=spec.pipeline,
+                        double_buffer=spec.double_buffer,
+                        energy_model=spec.energy_model,
+                    ),
+                    ref_log,
+                    ref_runner.soc.vwr2a.config_mem.stats,
+                )
+            serve, serve_log, serve_stats = ref
+            serve_engine = "reference"
         # The result ships the window's launches to the host; drop the
         # previous window's entries so the log does not grow for the
         # worker's whole lifetime (multi-hour streams, many launches).
-        del log[:]
-        before = stats.snapshot()
+        del serve_log[:]
+        before = serve_stats.snapshot()
+        fired = ()
         try:
-            result = scheduler.serve_window(window, log)
+            if injector is not None:
+                # worker_kill / worker_hang faults strike in here and
+                # never return — the host's supervision takes over.
+                window = injector.begin_attempt(
+                    serve.runner, window, attempt, engine=serve_engine
+                )
+            try:
+                result = serve.serve_window(window, serve_log)
+                exc = None
+            except Exception as err:
+                result = None
+                exc = err
+            if injector is not None:
+                fired = injector.end_attempt()
         except Exception:
             results.put((
-                "err", worker_id, window.index, traceback.format_exc()
+                "err", worker_id, index, traceback.format_exc()
             ))
             continue
-        results.put(("ok", worker_id, result, stats.since(before)))
+        if exc is None and not fired:
+            results.put((
+                "ok", worker_id, result, serve_stats.since(before),
+                force_reference,
+            ))
+        elif exc is None or (
+            injector is not None and is_fault_failure(exc, fired)
+        ):
+            kinds = tuple(fired) or (type(exc).__name__,)
+            results.put((
+                "retry", worker_id, index, attempt, force_reference,
+                kinds,
+            ))
+        else:
+            details = "".join(traceback.format_exception(exc))
+            results.put(("err", worker_id, index, details))
     results.put(("fin", worker_id, engine))
 
 
@@ -169,13 +309,29 @@ class PoolScheduler:
     ``start_method`` picks the :mod:`multiprocessing` context (default
     ``"fork"`` where available — workers then inherit the parent's warm
     structural compile/conflict memos — else ``"spawn"``).
+
+    The resilience knobs (all off by default) turn the pool into a
+    self-healing one — see docs/robustness.md: ``fault_plan`` (a
+    :class:`~repro.faults.FaultPlan`) injects deterministic faults into
+    worker attempts; ``max_retries`` bounds per-window retries of
+    fault-spoiled attempts, with one extra reference-engine attempt when
+    ``reference_fallback`` holds; ``respawn_limit`` bounds how many
+    dead/hung workers are replaced before the pool gives up;
+    ``heartbeat_timeout`` (seconds) declares a worker hung when it holds
+    in-flight windows without delivering anything for that long —
+    required whenever the plan schedules ``worker_hang`` faults. Windows
+    that exhaust the ladder are quarantined into
+    :attr:`StreamReport.failed_windows` instead of aborting the stream.
     """
 
     def __init__(self, config: str = "cpu_vwr2a", workers: int = 2,
                  params=None, pipeline=None, energy_model=None,
                  double_buffer: bool = True, runner_factory=None,
                  warm: bool = False, prefetch: int = 4,
-                 start_method: str = None) -> None:
+                 start_method: str = None, fault_plan=None,
+                 max_retries: int = 0, reference_fallback: bool = True,
+                 respawn_limit: int = 0,
+                 heartbeat_timeout: float = None) -> None:
         if workers < 1:
             raise ConfigurationError(
                 f"a pool needs at least one worker, got {workers}"
@@ -183,6 +339,27 @@ class PoolScheduler:
         if prefetch < 1:
             raise ConfigurationError(
                 f"prefetch must be at least 1 window, got {prefetch}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if respawn_limit < 0:
+            raise ConfigurationError(
+                f"respawn_limit must be >= 0, got {respawn_limit}"
+            )
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ConfigurationError(
+                "heartbeat_timeout must be positive seconds (or None "
+                f"to disable hang detection), got {heartbeat_timeout}"
+            )
+        if fault_plan is not None and heartbeat_timeout is None and any(
+            spec.kind == "worker_hang" for spec in fault_plan.specs
+        ):
+            raise ConfigurationError(
+                "the fault plan schedules worker_hang faults; pass "
+                "heartbeat_timeout so the pool can detect and kill the "
+                "hung workers (otherwise the stream never finishes)"
             )
         self.config = (
             getattr(pipeline, "config", config)
@@ -204,6 +381,11 @@ class PoolScheduler:
             start_method if start_method is not None
             else _default_start_method()
         )
+        self.fault_plan = fault_plan
+        self.max_retries = max_retries
+        self.reference_fallback = reference_fallback
+        self.respawn_limit = respawn_limit
+        self.heartbeat_timeout = heartbeat_timeout
         self._probed_engine = None
 
     @property
@@ -289,6 +471,7 @@ class PoolScheduler:
             energy_model=self.energy_model,
             runner_factory=self.runner_factory,
             warm_samples=warm_samples,
+            fault_plan=self.fault_plan,
         )
         try:
             pickle.dumps(spec)
@@ -303,111 +486,341 @@ class PoolScheduler:
     def _serve_remaining(self, stream, state: CheckpointState,
                          checkpoint, wall_base: float,
                          wall_start: float) -> str:
+        """The supervised pool loop.
+
+        The host owns all scheduling state: a per-worker task queue and
+        in-flight ledger, a retry queue that outranks fresh windows, and
+        a quarantine verdict per exhausted window. Workers only ever
+        serve one attempt per task, so any of them can die at any moment
+        without the host losing track of a single window.
+        """
         todo = stream.n_windows - state.n_done
         n_workers = max(1, min(self.workers, todo))
         context = multiprocessing.get_context(self.start_method)
-        tasks = context.Queue(maxsize=n_workers * self.prefetch)
         results = context.Queue()
+        stop = context.Event()
         spec = self._spec(stream)
-        procs = [
-            context.Process(
-                target=_worker_main, args=(i, spec, tasks, results),
+        # A duplicate result is only legitimate once supervision may
+        # requeue a window whose first result is still in flight.
+        resilient = (
+            self.fault_plan is not None or self.respawn_limit > 0
+            or self.heartbeat_timeout is not None
+        )
+
+        procs = {}
+        task_queues = {}
+        in_flight = {}       # wid -> deque of dispatched task tuples
+        last_progress = {}   # wid -> monotonic time of last message
+        finished = set()     # wids that reported "fin"/"crash"
+        next_wid = 0
+
+        def spawn() -> int:
+            nonlocal next_wid
+            wid = next_wid
+            next_wid += 1
+            tasks = context.Queue(maxsize=self.prefetch)
+            proc = context.Process(
+                target=_worker_main,
+                args=(wid, spec, tasks, results, stop),
                 daemon=True,
             )
-            for i in range(n_workers)
-        ]
-        for proc in procs:
             proc.start()
+            procs[wid] = proc
+            task_queues[wid] = tasks
+            in_flight[wid] = collections.deque()
+            last_progress[wid] = time.monotonic()
+            return wid
+
+        for _ in range(n_workers):
+            spawn()
+
         abort = threading.Event()
+        feed_done = threading.Event()
         feed_failure = []
+        ready = queue.Queue(maxsize=n_workers * self.prefetch)
 
         def feed():
-            """Slice windows and keep the bounded task queue topped up.
+            """Slice windows into the host-side ready buffer.
 
             Runs on a host thread so trace slicing (window
-            materialization) overlaps window execution in the workers.
-            Always chases the windows with one sentinel per worker —
-            including when slicing itself fails (lazy traces can raise
-            mid-stream); the error is recorded and surfaced by the host
-            loop, never swallowed into a hang.
+            materialization) overlaps window execution in the workers;
+            a slicing failure (lazy traces can raise mid-stream) is
+            recorded and surfaced by the host loop, never swallowed
+            into a hang.
             """
             try:
                 for window in stream:
                     if window.index in state.results:
                         continue
-                    if abort.is_set():
-                        break
                     item = (window.index, window.start, window.samples)
-                    if not self._put(tasks, item, procs, abort_ok=abort):
+                    while not abort.is_set():
+                        try:
+                            ready.put(item, timeout=_POLL_SECONDS)
+                            break
+                        except queue.Full:
+                            continue
+                    if abort.is_set():
                         break
             except Exception:
                 feed_failure.append(traceback.format_exc())
                 abort.set()
             finally:
-                for _ in procs:
-                    self._put(tasks, None, procs)
+                feed_done.set()
 
         feeder = threading.Thread(target=feed, daemon=True)
         feeder.start()
 
         failure = None
         engines = set()
-        fins = 0
+        requeue = collections.deque()  # retry tasks outrank fresh windows
+        fail_kinds = {}                # index -> fault kinds seen so far
+        total = stream.n_windows
 
-        def handle(message):
-            nonlocal failure, fins
-            kind = message[0]
-            if kind == "ok":
-                _, _, result, stats_delta = message
-                if result.index in state.results:
+        def tally(counts: dict) -> None:
+            merge_counts(state.resilience, counts)
+
+        def mark() -> None:
+            if checkpoint is not None:
+                state.wall_seconds = (
+                    wall_base + time.perf_counter() - wall_start
+                )
+                checkpoint.mark(state)
+
+        def take_in_flight(index: int):
+            """Pop and return the ledger entry serving ``index``, if any."""
+            for entries in in_flight.values():
+                for entry in entries:
+                    if entry[0] == index:
+                        entries.remove(entry)
+                        return entry
+            return None
+
+        def quarantine(index, start, attempts, kinds, why) -> None:
+            state.failed[index] = FailedWindow(
+                index=index, start=start, attempts=attempts,
+                kinds=tuple(dict.fromkeys(kinds)), detail=why,
+            )
+            tally({"quarantined": 1})
+            mark()
+
+        def next_attempt(entry, kinds, why) -> None:
+            """Advance one spoiled attempt along the retry ladder."""
+            index, start, samples, attempt, force_reference = entry
+            fail_kinds.setdefault(index, []).extend(kinds)
+            if attempt < self.max_retries:
+                tally({"retries": 1})
+                requeue.append((index, start, samples, attempt + 1, False))
+            elif self.reference_fallback and not force_reference:
+                tally({"retries": 1})
+                requeue.append((index, start, samples, attempt + 1, True))
+            else:
+                quarantine(
+                    index, start, attempt + 1,
+                    fail_kinds.pop(index, list(kinds)), why,
+                )
+
+        def accept(result, stats_delta, force_reference) -> None:
+            take_in_flight(result.index)
+            if result.index in state.results:
+                # A worker's result raced its own requeue (it was
+                # presumed dead or hung) and the window was served
+                # again. Without supervision that can only be a
+                # sharding bug; with it, it is bookkept and dropped.
+                if not resilient:
                     raise SimulationError(
                         f"window {result.index} was served twice — "
                         "sharding bug"
                     )
-                state.results[result.index] = result
-                merge_counts(state.store_stats, stats_delta)
-                if checkpoint is not None:
-                    state.wall_seconds = (
-                        wall_base + time.perf_counter() - wall_start
-                    )
-                    checkpoint.mark(state)
+                tally({"late_results": 1})
+                return
+            if result.index in state.failed:
+                # Quarantined, then a late clean result arrived after
+                # all: the window is rescued back into the report.
+                del state.failed[result.index]
+                tally({"quarantine_rescues": 1})
+            fail_kinds.pop(result.index, None)
+            state.results[result.index] = result
+            merge_counts(state.store_stats, stats_delta)
+            if force_reference:
+                tally({"reference_recoveries": 1})
+            mark()
+
+        def handle(message) -> None:
+            nonlocal failure
+            kind, wid = message[0], message[1]
+            if wid in last_progress:
+                last_progress[wid] = time.monotonic()
+            if kind == "ok":
+                _, _, result, stats_delta, force_reference = message
+                accept(result, stats_delta, force_reference)
+            elif kind == "retry":
+                _, _, index, attempt, force_reference, kinds = message
+                tally({f"fault:{k}": 1 for k in kinds})
+                entry = take_in_flight(index)
+                if entry is None:
+                    # Already requeued by supervision; stale verdict.
+                    tally({"late_results": 1})
+                    return
+                next_attempt(
+                    entry, kinds,
+                    "faults fired on every attempt "
+                    f"(last: {', '.join(kinds)})",
+                )
             elif kind == "err":
-                _, worker_id, index, details = message
+                _, _, index, details = message
                 if failure is None:
-                    failure = (worker_id, index, details)
+                    failure = (wid, index, details)
                 abort.set()
             elif kind == "crash":
-                _, worker_id, details = message
-                fins += 1
+                _, _, details = message
+                finished.add(wid)
                 if failure is None:
-                    failure = (worker_id, None, details)
+                    failure = (wid, None, details)
                 abort.set()
             elif kind == "fin":
-                fins += 1
+                finished.add(wid)
                 engines.add(message[2])
 
+        respawns = 0
+
+        def reap(wid, fault_kind, details) -> None:
+            """Retire one dead/hung worker: requeue its windows, respawn.
+
+            The head of its ledger is the attempt that died with it and
+            spends a rung of the retry ladder; the rest were merely
+            queued and are re-dispatched at their current attempt. When
+            the respawn budget is exhausted the pool aborts with the
+            exit diagnosis.
+            """
+            nonlocal failure, respawns
+            entries = in_flight.pop(wid)
+            tq = task_queues.pop(wid)
+            proc = procs.pop(wid)
+            proc.join(timeout=5.0)  # reap the corpse — no zombies
+            last_progress.pop(wid, None)
+            _drain_queue(tq)
+            tq.close()
+            tq.cancel_join_thread()
+            head = entries.popleft() if entries else None
+            if respawns >= self.respawn_limit:
+                if failure is None:
+                    failure = (
+                        wid, head[0] if head else None,
+                        f"{details} (respawn budget "
+                        f"{self.respawn_limit} exhausted)",
+                    )
+                abort.set()
+                return
+            respawns += 1
+            tally({"respawns": 1})
+            spawn()
+            if head is not None:
+                next_attempt(head, (fault_kind,), details)
+            for entry in entries:
+                requeue.append(entry)
+
+        def scan_workers() -> None:
+            now = time.monotonic()
+            for wid in list(procs):
+                proc = procs[wid]
+                if not proc.is_alive():
+                    if wid in finished:
+                        continue
+                    tally({"worker_deaths": 1})
+                    reap(
+                        wid, "worker_death",
+                        f"worker {wid} {describe_exit(proc.exitcode)}",
+                    )
+                elif (
+                    self.heartbeat_timeout is not None
+                    and in_flight[wid]
+                    and now - last_progress[wid] > self.heartbeat_timeout
+                ):
+                    tally({"worker_hangs": 1})
+                    hung = len(in_flight[wid])
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join(timeout=2.0)
+                    reap(
+                        wid, "worker_hang",
+                        f"worker {wid} hung: no progress for "
+                        f"{self.heartbeat_timeout}s with {hung} "
+                        "windows in flight",
+                    )
+
+        def dispatch() -> None:
+            """Hand queued work to the least-backlog live workers."""
+            while True:
+                candidates = [
+                    wid for wid in procs
+                    if procs[wid].is_alive() and wid not in finished
+                    and len(in_flight[wid]) < self.prefetch
+                ]
+                if not candidates:
+                    return
+                if requeue:
+                    task = requeue.popleft()
+                else:
+                    try:
+                        index, start, samples = ready.get_nowait()
+                    except queue.Empty:
+                        return
+                    task = (index, start, samples, 0, False)
+                wid = min(candidates, key=lambda w: len(in_flight[w]))
+                task_queues[wid].put(task)
+                in_flight[wid].append(task)
+
         try:
-            while fins < n_workers:
+            while failure is None:
+                if state.n_done + state.n_failed >= total:
+                    break
                 try:
                     handle(results.get(timeout=_POLL_SECONDS))
+                    while True:
+                        try:
+                            handle(results.get_nowait())
+                        except queue.Empty:
+                            break
                 except queue.Empty:
-                    if any(proc.is_alive() for proc in procs):
-                        continue
-                    # All workers are gone. Their last messages may
-                    # still be in flight in the queue pipe — drain them
-                    # before deciding anything was actually lost.
-                    try:
-                        while fins < n_workers:
-                            handle(results.get(timeout=_POLL_SECONDS))
-                    except queue.Empty:
-                        pass
-                    if fins < n_workers and failure is None:
-                        failure = (
-                            -1, None,
-                            "pool workers died without reporting "
-                            "(killed?)",
-                        )
+                    pass
+                if failure is not None:
                     break
+                if feed_failure:
+                    break
+                scan_workers()
+                if failure is not None:
+                    break
+                dispatch()
+                if (
+                    feed_done.is_set() and not requeue and ready.empty()
+                    and not any(in_flight.values())
+                    and state.n_done + state.n_failed < total
+                ):
+                    # Every window the feeder sliced is accounted for
+                    # and nothing is in flight, yet the stream is not
+                    # covered: the bookkeeping lost a window.
+                    failure = (
+                        -1, None,
+                        "pool stalled with "
+                        f"{state.n_done + state.n_failed}/{total} "
+                        "windows accounted — sharding bug",
+                    )
+            if failure is None:
+                # Clean completion: release the workers and collect
+                # their engine reports (workers that died along the way
+                # simply never report one).
+                stop.set()
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline and any(
+                    wid not in finished and procs[wid].is_alive()
+                    for wid in procs
+                ):
+                    try:
+                        handle(results.get(timeout=_POLL_SECONDS))
+                    except queue.Empty:
+                        continue
         except BaseException:
             # Host-side interruption (Ctrl-C, internal error): the same
             # durability contract as worker failure — flush completed
@@ -417,14 +830,27 @@ class PoolScheduler:
             raise
         finally:
             abort.set()
+            stop.set()
             feeder.join(timeout=10.0)
-            for proc in procs:
-                proc.join(timeout=10.0)
-            for proc in procs:
+            _drain_queue(ready)
+            for tq in task_queues.values():
+                _drain_queue(tq)
+            for proc in procs.values():
+                proc.join(timeout=5.0)
+            for proc in procs.values():
                 if proc.is_alive():
                     proc.terminate()
-            tasks.close()
+                    proc.join(timeout=2.0)
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=2.0)
+            _drain_queue(results)
+            for tq in task_queues.values():
+                tq.close()
+                tq.cancel_join_thread()
             results.close()
+            results.cancel_join_thread()
         if failure is None and feed_failure:
             failure = (
                 "feeder", None,
@@ -440,23 +866,11 @@ class PoolScheduler:
             )
         if not state.complete:
             raise SimulationError(
-                f"pool finished with {state.n_done}/{stream.n_windows} "
-                "windows served — sharding bug"
+                f"pool finished with {state.n_done} served and "
+                f"{state.n_failed} quarantined of {stream.n_windows} "
+                "windows — sharding bug"
             )
         return engines.pop() if engines else self.engine
-
-    @staticmethod
-    def _put(tasks, item, procs, abort_ok=None) -> bool:
-        """Timed put that gives up when the pool is aborting or dead."""
-        while True:
-            try:
-                tasks.put(item, timeout=_POLL_SECONDS)
-                return True
-            except queue.Full:
-                if abort_ok is not None and abort_ok.is_set():
-                    return False
-                if not any(proc.is_alive() for proc in procs):
-                    return False
 
 
 # -- parameter sweeps over the pool -----------------------------------------

@@ -91,6 +91,25 @@ class WindowResult:
         return getattr(self.app, "label", None)
 
 
+@dataclass(frozen=True)
+class FailedWindow:
+    """A window quarantined after exhausting its retry budget.
+
+    Quarantine is the explicit alternative to aborting the stream: the
+    window's index, position and failure pedigree are preserved in
+    :attr:`StreamReport.failed_windows` (and in the checkpoint, where a
+    later resume gives it a fresh chance), while every other window's
+    result stays valid. ``kinds`` are the fault kinds the last attempt
+    detected; ``detail`` is the last failure's short description.
+    """
+
+    index: int      #: window number within the stream
+    start: int      #: sample offset of the window in the trace
+    attempts: int   #: serving attempts consumed (including any fallback)
+    kinds: tuple    #: fault kinds detected on the final attempt
+    detail: str     #: human-readable reason of the final attempt
+
+
 @dataclass
 class StreamReport:
     """Aggregate outcome of one served window stream."""
@@ -103,6 +122,13 @@ class StreamReport:
     wall_seconds: float = 0.0   #: host wall-clock time spent serving
     store_stats: dict = field(default_factory=dict)  #: config-store cache delta
     double_buffered: bool = False  #: whether staging alternated SRAM halves
+    #: FailedWindow per quarantined window (retry budget exhausted),
+    #: index-ordered. Empty on every healthy run.
+    failed_windows: list = field(default_factory=list)
+    #: Resilience counters: retries, respawns, worker_deaths, hangs,
+    #: quarantined, reference_recoveries, late_results, fault:<kind>...
+    #: Empty when the run needed no supervision intervention.
+    resilience: dict = field(default_factory=dict)
 
     # -- merge arithmetic ---------------------------------------------------
 
@@ -147,15 +173,36 @@ class StreamReport:
                 )
         for result in other.windows:
             self.add_window(result)
+        for failed in other.failed_windows:
+            self.add_failed(failed)
+        merge_counts(self.resilience, other.resilience)
         self.merge_store_stats(other.store_stats)
         self.wall_seconds += other.wall_seconds
         return self
+
+    def add_failed(self, failed: FailedWindow) -> None:
+        """Record a quarantined window, keeping the list index-ordered."""
+        if any(w.index == failed.index for w in self.windows) or any(
+            f.index == failed.index for f in self.failed_windows
+        ):
+            raise ConfigurationError(
+                f"window {failed.index} is already in the report"
+            )
+        position = bisect_left(
+            self.failed_windows, failed.index, key=lambda f: f.index
+        )
+        self.failed_windows.insert(position, failed)
 
     # -- aggregates ---------------------------------------------------------
 
     @property
     def n_windows(self) -> int:
         return len(self.windows)
+
+    @property
+    def n_failed(self) -> int:
+        """Windows quarantined instead of served (see docs/robustness.md)."""
+        return len(self.failed_windows)
 
     @property
     def total_cycles(self) -> int:
@@ -247,6 +294,52 @@ class StreamReport:
         """Modeled stream makespan with double-buffered staging overlap."""
         return self.total_cycles - self.overlap_saved_cycles
 
+    # -- bit-identity -------------------------------------------------------
+
+    def identical_to(self, other: "StreamReport",
+                     engines: bool = True) -> str:
+        """First simulated difference from ``other``, or ``None`` if none.
+
+        The machine-checkable form of the serving layer's determinism
+        contract, shared by the differential tests and the fault
+        campaigns: compares every window's cycles, events, energy,
+        staging split, kernel launch sequence and application output
+        (features/labels when present). ``engines=False`` skips the
+        per-launch engine decisions — a window recovered on the
+        reference-fallback tier is bit-identical in everything the
+        simulation produces, but honestly records which engine ran.
+        """
+        if [w.index for w in self.windows] \
+                != [w.index for w in other.windows]:
+            return (
+                f"window sets differ: {[w.index for w in self.windows]} "
+                f"vs {[w.index for w in other.windows]}"
+            )
+        for a, b in zip(self.windows, other.windows):
+            for name in ("start", "cycles", "events", "energy_uj",
+                         "staging_in_cycles", "staging_out_cycles",
+                         "kernel_energy_pj"):
+                if getattr(a, name) != getattr(b, name):
+                    return (
+                        f"window {a.index}: {name} differs "
+                        f"({getattr(a, name)!r} vs {getattr(b, name)!r})"
+                    )
+            mine = [(r.name, r.cycles) for r in a.launches]
+            theirs = [(r.name, r.cycles) for r in b.launches]
+            if mine != theirs:
+                return f"window {a.index}: launch sequence differs"
+            if engines and [r.engine for r in a.launches] \
+                    != [r.engine for r in b.launches]:
+                return f"window {a.index}: engine decisions differ"
+            if hasattr(a.app, "features"):
+                if a.app.features != getattr(b.app, "features", None):
+                    return f"window {a.index}: features differ"
+                if a.app.label != getattr(b.app, "label", None):
+                    return f"window {a.index}: label differs"
+            elif a.app != b.app:
+                return f"window {a.index}: app result differs"
+        return None
+
     # -- rendering ----------------------------------------------------------
 
     def summary(self) -> str:
@@ -278,6 +371,19 @@ class StreamReport:
                 f"{self.store_stats.get('encode_misses', 0)} encode misses, "
                 f"{self.store_stats.get('hazard_misses', 0)} hazard misses"
             )
+        if self.failed_windows:
+            first = self.failed_windows[0]
+            lines.append(
+                f"  quarantined: {self.n_failed} windows "
+                f"(first: window {first.index} after {first.attempts} "
+                f"attempts, {first.detail})"
+            )
+        if self.resilience:
+            mix = ", ".join(
+                f"{name}: {count}"
+                for name, count in sorted(self.resilience.items())
+            )
+            lines.append(f"  resilience: {mix}")
         if self.wall_seconds:
             lines.append(
                 f"  host: {self.wall_seconds:.3f} s wall "

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 
 from repro.app.mbiotracker import window_pipeline
+from repro.core.errors import ConfigurationError
 from repro.kernels.runner import KernelRunner
 from repro.serve.checkpoint import (
     CheckpointState,
@@ -37,7 +38,13 @@ from repro.serve.checkpoint import (
     resume_session,
     stream_fingerprint,
 )
-from repro.serve.report import StreamReport, WindowResult, app_energy_uj, merge_counts
+from repro.serve.report import (
+    FailedWindow,
+    StreamReport,
+    WindowResult,
+    app_energy_uj,
+    merge_counts,
+)
 
 
 class StreamScheduler:
@@ -55,12 +62,24 @@ class StreamScheduler:
     (see the module docstring); ``reset_sram`` controls the plain rewind
     used when double buffering is off — pass ``False`` only if you manage
     SRAM-resident buffers through the runner yourself.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) turns on the
+    resilience layer of docs/robustness.md: faults are injected per
+    serving attempt, detected attempts are retried up to ``max_retries``
+    times, a final attempt may run on a reference-engine twin platform
+    (``reference_fallback``), and windows that exhaust the budget are
+    quarantined into :attr:`StreamReport.failed_windows` instead of
+    aborting the stream. Process faults (worker kill/hang) are counted
+    but never executed here — only :class:`~repro.serve.PoolScheduler`
+    workers are expendable.
     """
 
     def __init__(self, config: str = "cpu_vwr2a",
                  runner: KernelRunner = None, params=None,
                  pipeline=None, reset_sram: bool = True,
-                 double_buffer: bool = True, energy_model=None) -> None:
+                 double_buffer: bool = True, energy_model=None,
+                 fault_plan=None, max_retries: int = 2,
+                 reference_fallback: bool = True) -> None:
         # A pipeline that declares its configuration (window_pipeline
         # does) wins over the default, so energy attribution and the
         # report label follow what actually runs.
@@ -79,7 +98,21 @@ class StreamScheduler:
             from repro.energy import default_model
 
             energy_model = default_model()
-        self.energy_model = energy_model or None
+        self.energy_model = energy_model if energy_model is not None else None
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.max_retries = max_retries
+        self.reference_fallback = reference_fallback
+        self.fault_plan = fault_plan
+        self._injector = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self._injector = FaultInjector(fault_plan, process_faults=False)
+        self._ref_sched = None
+        self._ref_log = None
 
     def run(self, stream, checkpoint=None) -> StreamReport:
         """Serve every window of ``stream``; returns the stream report.
@@ -120,16 +153,21 @@ class StreamScheduler:
         if owns_log:
             log = []
             runner.launch_log = log
-        done_before = state.n_done
+        done_before = state.n_done + state.n_failed
         wall_base = state.wall_seconds
         wall_start = time.perf_counter()
         try:
             for window in stream:
-                if window.index in state.results:
+                if window.index in state.results \
+                        or window.index in state.failed:
                     continue
                 window_stats = stats.snapshot()
-                result = self.serve_window(window, log)
-                state.results[window.index] = result
+                if self._injector is None:
+                    result = self.serve_window(window, log)
+                else:
+                    result = self._serve_resilient(window, log, state)
+                if result is not None:
+                    state.results[window.index] = result
                 merge_counts(state.store_stats, stats.since(window_stats))
                 if checkpoint is not None:
                     state.wall_seconds = \
@@ -139,7 +177,8 @@ class StreamScheduler:
             # Mirror the pool's durability contract: flush completed
             # windows before the failure propagates, whatever the
             # cadence, so the resume re-serves nothing.
-            if checkpoint is not None and state.n_done > done_before:
+            if checkpoint is not None \
+                    and state.n_done + state.n_failed > done_before:
                 flush_session(state, checkpoint, wall_base, wall_start)
             raise
         finally:
@@ -150,7 +189,7 @@ class StreamScheduler:
                 runner.set_sram_region(0, soc.sram.n_words)
         return finalize_session(
             report, state, checkpoint, wall_base, wall_start,
-            served=state.n_done > done_before,
+            served=state.n_done + state.n_failed > done_before,
         )
 
     # -- one window ---------------------------------------------------------
@@ -216,3 +255,120 @@ class StreamScheduler:
             energy_uj=energy_uj,
             kernel_energy_pj=kernel_energy,
         )
+
+    # -- fault-plan resilience ----------------------------------------------
+
+    def _serve_resilient(self, window, log, state):
+        """The retry ladder of one window under an armed fault plan.
+
+        Attempts ``0 .. max_retries`` run on the primary engine; if every
+        one is spoiled by an injected fault, one final attempt may run on
+        the reference-engine twin (``reference_fallback``) — compiled and
+        reference results are bit-identical in cycles/events/energy, so
+        a reference recovery changes only the recorded engine decisions.
+        A window that exhausts the ladder is quarantined into
+        ``state.failed`` (and the stream keeps going); non-fault
+        exceptions propagate exactly as without a plan. Returns the
+        :class:`~repro.serve.WindowResult` or ``None`` on quarantine.
+        """
+        kinds = []
+        attempts = 0
+        result = None
+        for attempt in range(self.max_retries + 1):
+            attempts += 1
+            result, fired = self._attempt(window, log, attempt)
+            if result is not None:
+                break
+            kinds.extend(fired)
+            merge_counts(
+                state.resilience, {f"fault:{kind}": 1 for kind in fired}
+            )
+        if result is None and self.reference_fallback:
+            attempts += 1
+            result, fired = self._attempt(
+                window, log, attempts - 1, reference=True
+            )
+            if result is not None:
+                merge_counts(state.resilience, {"reference_recoveries": 1})
+            else:
+                kinds.extend(fired)
+                merge_counts(
+                    state.resilience,
+                    {f"fault:{kind}": 1 for kind in fired},
+                )
+        if attempts > 1:
+            merge_counts(state.resilience, {"retries": attempts - 1})
+        if result is not None:
+            return result
+        merge_counts(state.resilience, {"quarantined": 1})
+        state.failed[window.index] = FailedWindow(
+            index=window.index,
+            start=window.start,
+            attempts=attempts,
+            kinds=tuple(dict.fromkeys(kinds)),
+            detail=(
+                f"exhausted {attempts} attempts; faults fired: "
+                + ", ".join(kinds)
+            ),
+        )
+        return None
+
+    def _attempt(self, window, log, attempt: int, reference: bool = False):
+        """One injected serving attempt; returns ``(result, fired)``.
+
+        A spoiled attempt (fired faults, or a fault-classified exception
+        such as :class:`~repro.core.errors.BrownoutError`) returns
+        ``(None, fired_kinds)`` after the injector healed the platform
+        and the attempt's launches were rolled off the log, so the next
+        attempt starts from the exact pre-fault state. Exceptions the
+        injector does not own — genuine pipeline bugs — re-raise.
+        """
+        from repro.faults.injector import is_fault_failure
+
+        if reference:
+            sched = self._reference_scheduler()
+            serve_log = self._ref_log
+            engine = "reference"
+        else:
+            sched = self
+            serve_log = log
+            engine = self.runner.soc.vwr2a.engine
+        base = len(serve_log)
+        injected = self._injector.begin_attempt(
+            sched.runner, window, attempt, engine=engine
+        )
+        try:
+            result = sched.serve_window(injected, serve_log)
+            exc = None
+        except Exception as err:
+            result = None
+            exc = err
+        fired = self._injector.end_attempt()
+        if exc is None and not fired:
+            return result, ()
+        del serve_log[base:]
+        if exc is not None and not is_fault_failure(exc, fired):
+            raise exc
+        return None, fired or (type(exc).__name__,)
+
+    def _reference_scheduler(self) -> "StreamScheduler":
+        """The lazily-built reference-engine twin for fallback attempts.
+
+        A full scheduler on its own platform (same config, pipeline,
+        buffering and energy model) whose launches land in a private log
+        — the primary runner's launch history must not interleave with
+        recovery attempts. Built once, reused for every fallback.
+        """
+        if self._ref_sched is None:
+            self._ref_log = []
+            runner = KernelRunner(engine="reference")
+            runner.launch_log = self._ref_log
+            self._ref_sched = StreamScheduler(
+                config=self.config,
+                runner=runner,
+                pipeline=self.pipeline,
+                reset_sram=self.reset_sram,
+                double_buffer=self.double_buffer,
+                energy_model=self.energy_model,
+            )
+        return self._ref_sched

@@ -104,3 +104,42 @@ class WindowStream:
             f"window={self.window}, hop={self.hop}, tail={self.tail!r}: "
             f"{self.n_windows} windows)"
         )
+
+
+# -- chunk-level fault hooks (repro.faults) -----------------------------------
+#
+# A served window is the unit in which trace data crosses from the host
+# into the device model, so it is also the unit in which hostile inputs
+# arrive: sensor glitches, bus bit errors and short reads corrupt *chunks*.
+# These helpers produce the faulted twin of a pristine window — the
+# FaultInjector applies them per attempt, and a retry re-slices from the
+# pristine trace, which is why chunk faults are transient by construction.
+
+
+def corrupt_chunk(window: Window, offset: int, xor_mask: int) -> Window:
+    """``window`` with the sample at ``offset`` XOR-corrupted.
+
+    Models a bit error in the transfer of the chunk (AFE/bus upset). The
+    offset wraps into the window so generated plans never miss.
+    """
+    samples = list(window.samples)
+    offset %= max(len(samples), 1)
+    samples[offset] = int(samples[offset]) ^ xor_mask
+    return Window(
+        index=window.index, start=window.start, samples=tuple(samples)
+    )
+
+
+def truncate_chunk(window: Window, keep: int) -> Window:
+    """``window`` cut short after ``keep`` samples (a failed read).
+
+    The short chunk deliberately keeps its short length instead of being
+    re-padded: pipelines validate their window size, so truncation
+    surfaces as a detected per-attempt failure and is retried from the
+    pristine trace rather than silently serving zero-filled data.
+    """
+    keep = max(0, min(keep, len(window.samples)))
+    return Window(
+        index=window.index, start=window.start,
+        samples=window.samples[:keep],
+    )
