@@ -76,6 +76,7 @@ def _measure(engine: str, repeats: int = REPEATS) -> dict:
                 "accelerated_loops": 0,
                 "accelerated_trips": 0,
                 "vectorized_loops": 0,
+                "vector_rejections": {},
             },
         }
 
@@ -87,7 +88,13 @@ def _measure(engine: str, repeats: int = REPEATS) -> dict:
             acc["launches"] += 1
             if result.superblocks:
                 for key, value in result.superblocks.items():
-                    acc["superblocks"][key] += value
+                    if key == "vector_rejections":
+                        rejections = acc["superblocks"][key]
+                        for reason, count in value.items():
+                            rejections[reason] = \
+                                rejections.get(reason, 0) + count
+                    else:
+                        acc["superblocks"][key] += value
             return result
 
         vwr2a.run = timed_run
@@ -159,6 +166,7 @@ def test_sim_speed_fft2048(fft_measurements):
             "accelerated_loops": superblocks["accelerated_loops"],
             "accelerated_trips": superblocks["accelerated_trips"],
             "vectorized_loops": superblocks["vectorized_loops"],
+            "vector_rejections": superblocks["vector_rejections"],
             "kernel_launches": compiled["kernel_launches"],
         },
     })

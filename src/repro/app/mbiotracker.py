@@ -269,8 +269,9 @@ def _run_window(samples, config: str, runner: KernelRunner,
     line_words = arch.line_words
 
     # High-SPM scratch area that no kernel layout touches: delineation
-    # outputs, intervals, accumulator and SVM words live from line 48 up.
-    hi_base = (arch.spm_lines - 16) * line_words
+    # outputs, intervals, accumulator and SVM words live in the top 2048
+    # words (the paper geometry's top 16 lines) regardless of line width.
+    hi_base = arch.spm_words - 16 * 128
 
     with step_window("preprocessing"):
         fir = run_fir(runner, taps, samples, spm_x_line=0)
@@ -328,7 +329,7 @@ def _run_window(samples, config: str, runner: KernelRunner,
         # Band powers over the resident spectrum: normalize (>> 12, the
         # common feature scale and overflow headroom for the squares),
         # square and add with vector kernels, then per-band accumulations.
-        spec_lines = 2  # 256 usable bins
+        spec_lines = -(-256 // line_words)  # 256 usable bins
         pow_line = rfft.w_line + (rfft.w_lines if rfft.w_resident else 2)
         pow_line = min(pow_line, arch.spm_lines - 2 * spec_lines)
         power_word = pow_line * line_words

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch import DEFAULT_PARAMS, ArchParams
+from repro.arch import DEFAULT_PARAMS, ArchParams, ArchSpec
 from repro.core.column import Column
 from repro.core.config_mem import ConfigurationMemory
 from repro.core.dma import Dma
@@ -91,9 +91,22 @@ class Vwr2a:
         bus=None,
         dma_setup_cycles: int = 24,
         engine: str = "auto",
+        spec: ArchSpec = None,
     ) -> None:
         from repro.engine import make_engine
 
+        if spec is not None:
+            if params is not DEFAULT_PARAMS and params != spec.arch:
+                raise ConfigurationError(
+                    "Vwr2a params disagree with spec.arch: pass one source "
+                    "of geometry"
+                )
+            params = spec.arch
+        else:
+            spec = ArchSpec(arch=params)
+        #: The full design point this instance was built from. ``params``
+        #: stays the geometry projection every structural memo keys on.
+        self.spec = spec
         self.params = params
         self._engine = make_engine(engine)
         self.events = events if events is not None else EventCounters()

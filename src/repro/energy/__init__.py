@@ -11,7 +11,13 @@ from repro.energy.model import (
     EnergyTable,
 )
 from repro.energy.report import TABLE3_ROWS, render_table3, table3_breakdown
-from repro.energy.tables import default_model, default_table
+from repro.energy.scaling import group_power_scales
+from repro.energy.tables import (
+    default_model,
+    default_table,
+    model_for,
+    table_for,
+)
 
 __all__ = [
     "anchors",
@@ -28,4 +34,7 @@ __all__ = [
     "table3_breakdown",
     "default_model",
     "default_table",
+    "group_power_scales",
+    "model_for",
+    "table_for",
 ]

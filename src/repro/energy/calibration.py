@@ -108,12 +108,22 @@ def calibrate(
     vwr2a_anchor: ActivityAnchor,
     accel_anchor: ActivityAnchor,
     clock_hz: float = anchors.CLOCK_HZ,
+    group_scales: dict = None,
 ) -> EnergyTable:
-    """Solve the full energy table from the two Table-3 anchor runs."""
+    """Solve the full energy table from the two Table-3 anchor runs.
+
+    ``group_scales`` optionally multiplies each VWR2A group's anchor
+    power before solving — how :func:`repro.energy.tables.table_for`
+    retargets the Table-3 calibration at a non-paper geometry (see
+    :mod:`repro.energy.scaling`). Absent groups default to ``1.0``;
+    ``None`` (the default) leaves every anchor power untouched.
+    """
     per_event = {}
     leakage = {}
     frac = anchors.LEAK_FRACTION
     mem_mw = anchors.VWR2A_POWER_MW["memories"]
+    if group_scales is None:
+        group_scales = {}
 
     groups = [
         ("spm", SPM_WEIGHTS, mem_mw * anchors.SPM_SHARE_OF_MEMORIES,
@@ -130,7 +140,7 @@ def calibrate(
     for name, weights, power_mw, leak_fraction in groups:
         events_pj, leak_pj = _solve_group(
             weights, vwr2a_anchor.events, vwr2a_anchor.cycles,
-            power_mw, leak_fraction, clock_hz,
+            power_mw * group_scales.get(name, 1.0), leak_fraction, clock_hz,
         )
         per_event.update(events_pj)
         if name in ("spm", "vwr"):

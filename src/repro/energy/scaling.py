@@ -1,0 +1,56 @@
+"""Geometry scaling of the Table-3 calibration powers.
+
+The paper's Table 3 measures per-component power for *one* synthesized
+design point. When ``repro.explore`` sweeps the geometry around it, each
+component's anchor power is scaled by capacity/width ratios raised to the
+exponents in :class:`repro.arch.EnergyScaling` — a CACTI-flavored
+modeling assumption (storage arrays grow sublinearly with capacity, port
+energy roughly linearly with port width), documented here rather than
+hidden in hard-coded design-point shares.
+
+Every ratio is exactly ``1.0`` at the paper's geometry, so the default
+:class:`~repro.arch.ArchSpec` reproduces the published calibration
+bit-identically (``x / x == 1.0`` and ``1.0 ** e == 1.0`` are exact in
+IEEE-754).
+"""
+
+from __future__ import annotations
+
+from repro.arch import DEFAULT_PARAMS, ArchSpec
+
+
+def group_power_scales(spec: ArchSpec) -> dict:
+    """Per-calibration-group power multipliers of ``spec`` vs the paper.
+
+    Keys match the VWR2A group names in
+    :func:`repro.energy.calibration.calibrate`: ``spm``/``vwr`` (the two
+    shares of the "memories" row), ``control``, ``datapath`` and ``dma``.
+    The fixed-function accelerator and the system side (CPU, SRAM, bus)
+    are not part of the array geometry and never scale.
+    """
+    arch, knobs = spec.arch, spec.energy
+    base = DEFAULT_PARAMS
+    spm = (
+        (arch.spm_bytes / base.spm_bytes) ** knobs.spm_capacity_exp
+        * (arch.line_words / base.line_words) ** knobs.spm_port_exp
+    )
+    vwr_bits = arch.n_columns * arch.n_vwrs * arch.vwr_bits
+    base_bits = base.n_columns * base.n_vwrs * base.vwr_bits
+    vwr = (vwr_bits / base_bits) ** knobs.vwr_bits_exp
+    srf_total = arch.n_columns * arch.srf_entries
+    base_srf = base.n_columns * base.srf_entries
+    control = (
+        (arch.n_columns / base.n_columns) ** knobs.control_column_exp
+        * (srf_total / base_srf) ** knobs.control_srf_exp
+    )
+    rc_total = arch.n_columns * arch.rcs_per_column
+    base_rc = base.n_columns * base.rcs_per_column
+    datapath = (rc_total / base_rc) ** knobs.datapath_rc_exp
+    dma = (arch.line_words / base.line_words) ** knobs.dma_port_exp
+    return {
+        "spm": spm,
+        "vwr": vwr,
+        "control": control,
+        "datapath": datapath,
+        "dma": dma,
+    }

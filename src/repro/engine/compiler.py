@@ -362,6 +362,12 @@ class BlockInfo:
     closed_form: bool    #: loop trips solvable at entry (no horizon needed)
     vectorized: bool     #: loop body carries a NumPy steady-state path
     members: tuple       #: ((leader, n_cycles, delta), ...) per basic block
+    #: Static reason this self-loop cannot take the NumPy steady state
+    #: (``None`` for vectorized loops and non-loop blocks); the generated
+    #: code additionally counts runtime rejections (trip window, counter
+    #: wrap, RMW index repeats) per loop entry into the bound ``_REJ``
+    #: tally surfaced as ``RunResult.superblocks["vector_rejections"]``.
+    vector_reject: str = None
 
 
 class CompiledProgram:
@@ -609,15 +615,27 @@ def _compile(bundles, params) -> CompiledProgram:
         op = last.lcu.op
         is_loop = op in BRANCH_OPS and last.lcu.target == leader
         plan = plan_loop(bundles, pcs, params) if is_loop else None
+        counted = plan is not None and all(
+            sym[0] != "u" for sym in plan.lcu_sym.values()
+        )
+        vector_reject = None
+        if is_loop:
+            if plan is None:
+                vector_reject = "non_concrete_trip"
+            elif not counted:
+                vector_reject = plan.vector_reject or "unknown_lcu_state"
+            elif not plan.vectorized:
+                vector_reject = plan.vector_reject or "not_vectorized"
 
         fn_name = f"_b{leader}"
         lines = [f"def {fn_name}({'limit, ' if is_loop else ''}{sig}):"]
         indent = "    "
         if uses_k or sets_k:
             lines.append(f"{indent}k = col.k")
-        counted = plan is not None and all(
-            sym[0] != "u" for sym in plan.lcu_sym.values()
-        )
+        if is_loop and not counted:
+            # Loops the closed-form machinery cannot accelerate at all:
+            # count the static reason once per loop entry.
+            lines.append(f"{indent}_REJ[{vector_reject!r}] += 1")
         if counted:
             # Closed-form trip count, computed once at loop entry. While
             # the counter provably stays inside int32, the loop runs
@@ -640,12 +658,17 @@ def _compile(bundles, params) -> CompiledProgram:
                 "<= 2147483647:"
             )
             if plan.vectorized:
-                lines.append(
-                    f"{indent}    if {plan.min_trips} <= _t "
-                    f"<= {VEC_MAX_TRIPS}:"
-                )
+                lines.append(f"{indent}    if _t < {plan.min_trips}:")
+                lines.append(f"{indent}        _REJ['trip_below_floor']"
+                             " += 1")
+                lines.append(f"{indent}    elif _t > {VEC_MAX_TRIPS}:")
+                lines.append(f"{indent}        _REJ['trip_above_ceiling']"
+                             " += 1")
+                lines.append(f"{indent}    else:")
                 for line in plan.vector_lines:
                     lines.append(f"{indent}        {line}")
+            else:
+                lines.append(f"{indent}    _REJ[{vector_reject!r}] += 1")
             counted_body, post_commits = _hoistable_commits(
                 bundles, pcs,
                 [line for pc in pcs for line in bodies[pc].lines],
@@ -667,6 +690,10 @@ def _compile(bundles, params) -> CompiledProgram:
             if sets_k:
                 lines.append(f"{indent}    col.k = k")
             lines.append(f"{indent}    return _pc, _t")
+            # int32 guard failed: the closed form would mispredict the
+            # wrap-around — count it and run the exact per-trip loop.
+            lines.append(f"{indent}else:")
+            lines.append(f"{indent}    _REJ['counter_wrap'] += 1")
         if is_loop:
             lines.append(f"{indent}_n = 0")
             lines.append(f"{indent}while True:")
@@ -720,6 +747,7 @@ def _compile(bundles, params) -> CompiledProgram:
             closed_form=plan is not None,
             vectorized=plan is not None and plan.vectorized,
             members=_member_info(members, deltas),
+            vector_reject=vector_reject,
         ))
 
     source = "\n\n".join(sources)

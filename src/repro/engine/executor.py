@@ -115,8 +115,13 @@ class BoundColumn:
         self.column = column
         self.compiled = compiled
         self.vec_counter = [0]
+        #: Per-loop-entry tally of why the NumPy steady state was not
+        #: taken: static reasons stamped at compile time plus the runtime
+        #: guards (trip window, counter wrap, RMW index repeats).
+        self.rejections = Counter()
         namespace = self._namespace(column)
         namespace["_VEC"] = self.vec_counter
+        namespace["_REJ"] = self.rejections
         exec(compiled.code, namespace)
         table = {}
         for blk in compiled.blocks:
@@ -175,6 +180,7 @@ class BoundColumn:
         self.loops_accelerated = 0
         self.trips_accelerated = 0
         self.vec_counter[0] = 0
+        self.rejections.clear()
 
     def run_to_exit(self, kernel_name: str, max_cycles: int) -> int:
         """Single-column fast path: dispatch superblocks until EXIT."""
@@ -347,11 +353,21 @@ class BoundColumn:
         return rows
 
     def superblock_stats(self) -> dict:
-        """Closed-form loop accounting of the last run."""
+        """Closed-form loop accounting of the last run.
+
+        ``vector_rejections`` maps rejection reason -> loop entries that
+        stayed off the NumPy steady state for it: static reasons
+        (``non_concrete_trip``, ``lsu_in_body``, ``cross_trip_recurrence``,
+        ``inadmissible_rmw``, ...) count per entry of their loop, runtime
+        reasons (``trip_below_floor``, ``trip_above_ceiling``,
+        ``counter_wrap``, ``rmw_index_repeat``) count per entry that
+        failed the corresponding guard.
+        """
         return {
             "accelerated_loops": self.loops_accelerated,
             "accelerated_trips": self.trips_accelerated,
             "vectorized_loops": self.vec_counter[0],
+            "vector_rejections": dict(self.rejections),
         }
 
 
@@ -455,12 +471,19 @@ class CompiledEngine:
             "accelerated_loops": 0,
             "accelerated_trips": 0,
             "vectorized_loops": 0,
+            "vector_rejections": {},
         }
         histogram = []
+        rejections = superblocks["vector_rejections"]
         for bound in bounds:
             bound.finish(vwr2a.events)
             for stat, value in bound.superblock_stats().items():
-                superblocks[stat] += value
+                if stat == "vector_rejections":
+                    for reason, count in value.items():
+                        rejections[reason] = \
+                            rejections.get(reason, 0) + count
+                else:
+                    superblocks[stat] += value
             histogram.extend(bound.block_histogram())
         self.last_run_info = RunInfo(
             "compiled", None, (), superblocks, tuple(histogram)

@@ -392,6 +392,12 @@ class LoopPlan:
     lcu_sym: dict         #: per-register symbolic per-trip classification
     vector_lines: tuple   #: generated NumPy body (empty => scalar only)
     lanes: bool = False   #: body lifted as lanes x trips (broadcast RCs)
+    #: Why the body stayed scalar (``None`` when vectorized): one of the
+    #: static reasons of :class:`_VectorBodyGen` (``lsu_in_body``,
+    #: ``cross_trip_recurrence``, ``inadmissible_rmw``, ...) or
+    #: ``numpy_unavailable``. Surfaced per loop entry through
+    #: ``RunResult.superblocks["vector_rejections"]``.
+    vector_reject: str = None
 
     @property
     def vectorized(self) -> bool:
@@ -413,15 +419,21 @@ def plan_loop(bundles, pcs, params) -> LoopPlan:
     delta = summary["lcu_sym"][branch.rd][1]
     vector_lines = ()
     lanes = False
+    reject = None
     if NUMPY_AVAILABLE:
         generated = _LaneVectorGen(bundles, pcs, params, summary).build()
         lanes = generated is not None
         if generated is None:
-            generated = _VectorBodyGen(
-                bundles, pcs, params, summary
-            ).build()
+            # The per-cell generator subsumes the lane shape, so its
+            # rejection reason is the one worth reporting.
+            cell_gen = _VectorBodyGen(bundles, pcs, params, summary)
+            generated = cell_gen.build()
+            if generated is None:
+                reject = cell_gen.reject
         if generated is not None:
             vector_lines = tuple(generated)
+    else:
+        reject = "numpy_unavailable"
     return LoopPlan(
         counter=int(branch.rd),
         delta=delta,
@@ -431,6 +443,7 @@ def plan_loop(bundles, pcs, params) -> LoopPlan:
         lcu_sym=summary["lcu_sym"],
         vector_lines=vector_lines,
         lanes=lanes,
+        vector_reject=reject,
     )
 
 
@@ -566,6 +579,8 @@ class _VectorBodyGen:
         self.k_used = False
         self.guards = ()           # k epochs needing distinctness proofs
         self.counter = 0
+        #: Why ``build`` returned None (the per-loop rejection taxonomy).
+        self.reject = None
 
     # -- operand lowering --------------------------------------------------
 
@@ -579,16 +594,24 @@ class _VectorBodyGen:
             return "0"
         if kind is RCSrcKind.IMM:
             return repr(int(operand.index))
-        if kind is RCSrcKind.R0:
-            return self.defs.get(("R0", i))
-        if kind is RCSrcKind.R1:
-            return self.defs.get(("R1", i))
-        if kind is RCSrcKind.RCT:
-            return self.defs.get(("O", (i - 1) % self.n_rcs))
-        if kind is RCSrcKind.RCB:
-            return self.defs.get(("O", (i + 1) % self.n_rcs))
+        if kind in (RCSrcKind.R0, RCSrcKind.R1, RCSrcKind.RCT,
+                    RCSrcKind.RCB):
+            if kind is RCSrcKind.R0:
+                var = self.defs.get(("R0", i))
+            elif kind is RCSrcKind.R1:
+                var = self.defs.get(("R1", i))
+            elif kind is RCSrcKind.RCT:
+                var = self.defs.get(("O", (i - 1) % self.n_rcs))
+            else:
+                var = self.defs.get(("O", (i + 1) % self.n_rcs))
+            if var is None:
+                # Reads a value not written earlier in the same trip:
+                # a cross-trip recurrence — inherently sequential.
+                self.reject = "cross_trip_recurrence"
+            return var
         if kind is RCSrcKind.SRF:
             if not 0 <= operand.index < self.n_srf:
+                self.reject = "bad_srf_entry"
                 return None
             return f"S[{int(operand.index)}]"
         name = _VWR_SRC[kind]
@@ -602,20 +625,29 @@ class _VectorBodyGen:
         for b, pc in enumerate(self.pcs):
             bundle = self.bundles[pc]
             if bundle.lsu.op is not LSUOp.NOP:
+                self.reject = "lsu_in_body"
                 return None
             lcu = bundle.lcu
             if lcu.op not in (LCUOp.NOP, LCUOp.SETI, LCUOp.ADDI) \
                     and not (pc == self.pcs[-1] and lcu.op in BRANCH_OPS):
+                self.reject = "lcu_op_in_body"
                 return None
             if not self._mxcu(bundle.mxcu):
+                self.reject = self.reject or "bad_srf_entry"
                 return None
             if not self._rcs(bundle.rcs, b):
+                self.reject = self.reject or "unsupported_op"
                 return None
         if any(sym[0] == "u" for sym in self.summary["lcu_sym"].values()):
+            self.reject = "unknown_lcu_state"
             return None
         if not self._resolve_hazards():
+            self.reject = "inadmissible_rmw"
             return None
-        return self._emit()
+        lines = self._emit()
+        if lines is None:
+            self.reject = self.reject or "static_index"
+        return lines
 
     def _resolve_hazards(self) -> bool:
         """Admit read+write VWRs behind a runtime index-distinctness guard."""
@@ -690,6 +722,7 @@ class _VectorBodyGen:
             elif kind is RCDstKind.R1:
                 self.defs[("R1", i)] = var
             elif kind is RCDstKind.SRF:
+                self.reject = "srf_write_in_body"
                 return False
             elif kind in _VWR_DST:
                 name = _VWR_DST[kind]
@@ -745,6 +778,12 @@ class _VectorBodyGen:
             lines.append(f"{indent}col.k = _kf")
         lines.append(f"{indent}_VEC[0] += 1")
         lines.append(f"{indent}return _pc, _t")
+        if self.guards:
+            # A repeated per-trip index fails the distinctness proof:
+            # record the runtime rejection and fall through to the exact
+            # scalar loop.
+            lines.append("else:")
+            lines.append("    _REJ['rmw_index_repeat'] += 1")
         return lines
 
     #: Scatter helper the emitted multi-site writes call (the lane

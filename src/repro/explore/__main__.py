@@ -1,0 +1,6 @@
+"""``python -m repro.explore`` — run a design-space exploration."""
+
+from repro.explore.campaign import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

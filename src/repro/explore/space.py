@@ -1,0 +1,39 @@
+"""The default VWR2A design space around the paper's synthesized point.
+
+Every spec here is valid under :class:`~repro.arch.ArchParams` validation
+(power-of-two slices, whole SPM lines, the MXCU's 5-bit k-field bound of
+32 words per slice) and window-512 capable (the real-FFT engine needs
+``n >= 4 * line_words``, so RC-count variations scale ``vwr_words``
+with them).
+"""
+
+from __future__ import annotations
+
+from repro.arch import DEFAULT_SPEC, ArchSpec
+
+
+def design_space() -> list[ArchSpec]:
+    """The default exploration grid: the paper point plus 8 neighbors.
+
+    One axis moves per point (column count, SPM capacity, RC/VWR shape,
+    SRF depth) so the Pareto frontier reads as a sensitivity study; the
+    one combined point (``1col-spm16K``) probes the minimal corner.
+    """
+    return [
+        DEFAULT_SPEC,
+        DEFAULT_SPEC.vary("1col", n_columns=1),
+        DEFAULT_SPEC.vary("4col", n_columns=4),
+        DEFAULT_SPEC.vary("spm16K", spm_bytes=16 * 1024),
+        DEFAULT_SPEC.vary("spm64K", spm_bytes=64 * 1024),
+        DEFAULT_SPEC.vary("2rc", rcs_per_column=2, vwr_words=64),
+        DEFAULT_SPEC.vary("vwr64", vwr_words=64),
+        DEFAULT_SPEC.vary("srf16", srf_entries=16),
+        DEFAULT_SPEC.vary("1col-spm16K", n_columns=1,
+                          spm_bytes=16 * 1024),
+    ]
+
+
+def smoke_space() -> list[ArchSpec]:
+    """The 4-spec subset the CI smoke job explores."""
+    space = {spec.name: spec for spec in design_space()}
+    return [space[name] for name in ("paper", "1col", "spm16K", "vwr64")]

@@ -74,7 +74,13 @@ def build_delineation_kernel(
 
     # Prologue: read sample 0 into both running extrema; shadows at 0.
     kb.emit(lsu=ld_srf(SRF_VALUE, SRF_X_ADDR, inc=1), lcu=seti(0, 1))
-    kb.emit(lcu=ldsrf(2, SRF_VALUE))                    # R2 = high
+    # Candidate positions (R1) must start at 0: if the very first sample
+    # is the running extremum, the commit paths store R1 without any
+    # latch ever firing — a stale value from the previous kernel would
+    # leak into the output (and it varies with the SPM geometry).
+    kb.emit(lcu=ldsrf(2, SRF_VALUE),
+            rcs={0: rc(RCOp.MOV, DST_R1, imm(0)),
+                 1: rc(RCOp.MOV, DST_R1, imm(0))})      # R2 = high
     kb.emit(lcu=ldsrf(3, SRF_VALUE),
             rcs={0: rc(RCOp.MOV, DST_R0, imm(0)),
                  1: rc(RCOp.MOV, DST_R0, imm(0))})      # R3 = low

@@ -106,17 +106,26 @@ def run_intervals(runner: KernelRunner, insp_spec, exp_spec) -> KernelRun:
     """
     params = runner.soc.params
     (a0, b0, o0, c0), (a1, b1, o1, c1) = insp_spec, exp_spec
-    config = KernelConfig(
-        name="intervals",
-        columns={
-            0: _diff_column(params, a0, b0, o0, c0),
-            1: _diff_column(params, a1, b1, o1, c1),
-        },
-    )
+    insp_program = _diff_column(params, a0, b0, o0, c0)
+    exp_program = _diff_column(params, a1, b1, o1, c1)
+    if params.n_columns >= 2:
+        configs = [KernelConfig(
+            name="intervals",
+            columns={0: insp_program, 1: exp_program},
+        )]
+    else:
+        # Single-column geometry: the two streams launch back to back.
+        configs = [
+            KernelConfig(name="intervals_insp", columns={0: insp_program}),
+            KernelConfig(name="intervals_exp", columns={0: exp_program}),
+        ]
     run = KernelRun(name="intervals")
-    result = runner.execute(config, max_cycles=100 * max(c0, c1, 1) + 500)
-    run.config_cycles = result.config_cycles
-    run.compute_cycles = result.cycles
+    for config in configs:
+        result = runner.execute(
+            config, max_cycles=100 * max(c0, c1, 1) + 500
+        )
+        run.config_cycles += result.config_cycles
+        run.compute_cycles += result.cycles
     return run
 
 

@@ -483,6 +483,22 @@ class FftEngine:
                 4 * n + table_words
                 <= runner.soc.params.spm_words - scratch_words
             )
+            if resident_tables:
+                # The estimate above undercounts the per-stage table
+                # footprint on some geometries (each stage holds 2n
+                # line-interleaved words); when the exact layout check
+                # rejects residency, stream the tables instead of failing.
+                try:
+                    self.plan = FftPlan(
+                        n=n, params=self.params, resident_tables=True
+                    )
+                except ConfigurationError:
+                    resident_tables = False
+                else:
+                    self.prepare_cycles = 0
+                    self._prepared = False
+                    self._table_sram = {}
+                    return
         self.plan = FftPlan(
             n=n, params=self.params, resident_tables=resident_tables
         )

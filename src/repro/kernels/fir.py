@@ -126,20 +126,25 @@ def _column_program(params, taps, x_line, y_line, n_lines):
         kb.b.label(label)
         # Tap 0 seeds the accumulator at the output position.
         kb.emit(
-            rcs=[rc(RCOp.FXPMUL, DST_R0, VWR_A, imm(taps[0]))] * 4,
+            rcs=[rc(RCOp.FXPMUL, DST_R0, VWR_A, imm(taps[0]))]
+                * params.rcs_per_column,
             mxcu=inck(1),
             lcu=addi(0, 1),
         )
         # Taps 1..T-1: multiply at k-j, then accumulate.
         for j in range(1, len(taps)):
             kb.emit(
-                rcs=[rc(RCOp.FXPMUL, DST_R1, VWR_A, imm(taps[j]))] * 4,
+                rcs=[rc(RCOp.FXPMUL, DST_R1, VWR_A, imm(taps[j]))]
+                    * params.rcs_per_column,
                 mxcu=inck(-1),
             )
-            kb.emit(rcs=[rc(RCOp.SADD, DST_R0, R0, R1)] * 4, mxcu=MXCU_NOP)
+            kb.emit(
+                rcs=[rc(RCOp.SADD, DST_R0, R0, R1)] * params.rcs_per_column,
+                mxcu=MXCU_NOP,
+            )
         # Write-back at the output position; loop over the slice outputs.
         kb.emit(
-            rcs=[rc(RCOp.MOV, DST_VWR_C, R0)] * 4,
+            rcs=[rc(RCOp.MOV, DST_VWR_C, R0)] * params.rcs_per_column,
             mxcu=inck(halo),
             lcu=blt(0, outputs, label),
         )

@@ -329,9 +329,23 @@ class RfftEngine:
         self.n = n
         self.half = n // 2
         self.cfft = FftEngine(runner, self.half)
+        try:
+            self._layout()
+        except ConfigurationError:
+            if not self.cfft.plan.resident_tables:
+                raise
+            # Tight SPM: streaming the inner FFT's stage tables frees the
+            # lines the recombination layout needs. Only reached on
+            # geometries where the resident layout cannot fit at all.
+            self.cfft = FftEngine(runner, self.half, resident_tables=False)
+            self._layout()
+        self._w_sram = None
+        self.prepare_cycles = 0
+        self._prepared = False
+
+    def _layout(self) -> None:
         plan = self.cfft.plan
-        line_words = self.params.line_words
-        self.spec_lines = self.half // line_words  # Z array lines (each)
+        self.spec_lines = self.half // self.params.line_words  # Z lines
         # X overwrites Z in place (phase 2 only reads the scratch G/H
         # terms), so the free region only holds the W table, which streams
         # from SRAM when it does not fit, plus one line for the Nyquist
@@ -346,12 +360,9 @@ class RfftEngine:
             w_lines = 2 * self.params.n_columns
             if self.w_line + w_lines > self.params.spm_lines:
                 raise ConfigurationError(
-                    f"real-FFT-{n} layout exceeds the SPM"
+                    f"real-FFT-{self.n} layout exceeds the SPM"
                 )
         self.w_lines = w_lines
-        self._w_sram = None
-        self.prepare_cycles = 0
-        self._prepared = False
 
     def prepare(self) -> int:
         if self._prepared:
@@ -396,28 +407,39 @@ class RfftEngine:
         )
         xnyq_word = self.nyq_line * line_words
 
-        mirror = KernelConfig(
-            name=f"rfft{self.n}_mirror",
-            columns={
-                0: _mirror_column_program(
-                    params,
-                    zr_line * line_words, mr_line * line_words, half,
-                    patch=(
-                        zr_line * line_words, zi_line * line_words,
-                        xnyq_word,
-                    ),
-                ),
-                1: _mirror_column_program(
-                    params,
-                    zi_line * line_words, mi_line * line_words, half,
-                ),
-            },
+        re_program = _mirror_column_program(
+            params,
+            zr_line * line_words, mr_line * line_words, half,
+            patch=(
+                zr_line * line_words, zi_line * line_words, xnyq_word,
+            ),
         )
-        result = self.runner.execute(
-            mirror, max_cycles=10 * self.n + 1000
+        im_program = _mirror_column_program(
+            params,
+            zi_line * line_words, mi_line * line_words, half,
         )
-        run.config_cycles += result.config_cycles
-        run.compute_cycles += result.cycles
+        if params.n_columns >= 2:
+            # The paper geometry: real and imaginary mirrors run on the
+            # two columns concurrently (they touch disjoint arrays).
+            mirror_configs = [KernelConfig(
+                name=f"rfft{self.n}_mirror",
+                columns={0: re_program, 1: im_program},
+            )]
+        else:
+            # Single-column geometry: the same two programs launch back
+            # to back on column 0.
+            mirror_configs = [
+                KernelConfig(name=f"rfft{self.n}_mirror_re",
+                             columns={0: re_program}),
+                KernelConfig(name=f"rfft{self.n}_mirror_im",
+                             columns={0: im_program}),
+            ]
+        for mirror in mirror_configs:
+            result = self.runner.execute(
+                mirror, max_cycles=10 * self.n + 1000
+            )
+            run.config_cycles += result.config_cycles
+            run.compute_cycles += result.cycles
 
         n_cols = min(params.n_columns, max(self.spec_lines, 1))
         launches = max(-(-self.spec_lines // n_cols), 1)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch import ArchSpec
 from repro.core.errors import ConfigurationError
 from repro.soc.platform import BiosignalSoC
 
@@ -45,27 +46,51 @@ class RunnerFactory:
     (:class:`~repro.serve.PoolScheduler`) instead receive this factory
     and build their own platform instance on their side of the fork.
     ``engine`` follows the :class:`KernelRunner` constructor (``None``
-    keeps the SoC default, ``"auto"``).
+    keeps the SoC default, ``"auto"``); ``spec`` selects the design point
+    (``None`` keeps the paper's default :class:`~repro.arch.ArchSpec`) —
+    specs are frozen dataclasses, so the factory stays picklable and two
+    workers built from equal factories simulate identical platforms.
     """
 
     engine: str = None
+    spec: ArchSpec = None
 
     def __call__(self) -> "KernelRunner":
-        return KernelRunner(engine=self.engine)
+        return KernelRunner(engine=self.engine, spec=self.spec)
+
+    def reference_twin(self) -> "RunnerFactory":
+        """The same design point forced onto the reference interpreter.
+
+        The serving layer's resilience ladder retries failed windows on a
+        reference-engine runner; the twin must share the spec or the
+        replay would simulate a different machine.
+        """
+        return RunnerFactory(engine="reference", spec=self.spec)
 
 
 class KernelRunner:
     """Stages data, launches kernels, and keeps the books."""
 
-    def __init__(self, soc: BiosignalSoC = None, engine: str = None) -> None:
+    def __init__(self, soc: BiosignalSoC = None, engine: str = None,
+                 spec: ArchSpec = None) -> None:
         if soc is None:
-            soc = BiosignalSoC() if engine is None \
-                else BiosignalSoC(engine=engine)
-        elif engine is not None and soc.vwr2a.engine != engine:
-            raise ConfigurationError(
-                f"runner engine {engine!r} conflicts with the provided "
-                f"SoC's engine {soc.vwr2a.engine!r}"
-            )
+            kwargs = {}
+            if engine is not None:
+                kwargs["engine"] = engine
+            if spec is not None:
+                kwargs["spec"] = spec
+            soc = BiosignalSoC(**kwargs)
+        else:
+            if engine is not None and soc.vwr2a.engine != engine:
+                raise ConfigurationError(
+                    f"runner engine {engine!r} conflicts with the provided "
+                    f"SoC's engine {soc.vwr2a.engine!r}"
+                )
+            if spec is not None and soc.spec != spec:
+                raise ConfigurationError(
+                    f"runner spec {spec.describe()} conflicts with the "
+                    f"provided SoC's spec {soc.spec.describe()}"
+                )
         self.soc = soc
         self.soc.with_accelerators()
         self._sram_base = 0
@@ -82,6 +107,11 @@ class KernelRunner:
         #: :class:`repro.faults.FaultInjector` uses to land SPM upsets
         #: and reassert stuck-at cells at launch boundaries.
         self.fault_hook = None
+
+    @property
+    def spec(self) -> ArchSpec:
+        """The design point of the underlying platform."""
+        return self.soc.spec
 
     # -- SRAM staging ----------------------------------------------------------
 

@@ -233,7 +233,10 @@ def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results,
         serve_engine = engine
         if force_reference:
             if ref is None:
-                ref_runner = KernelRunner(engine="reference")
+                # Same design point as the primary runner, golden engine.
+                ref_runner = KernelRunner(
+                    engine="reference", spec=runner.spec
+                )
                 ref_log = []
                 ref_runner.launch_log = ref_log
                 ref = (
@@ -894,6 +897,9 @@ class _SweepCasePayload:
     energy_model: object
     double_buffer: bool
     runner_factory: object
+    #: Picklable (runner, samples) -> result callable; wins over
+    #: config/params when set (see SweepCase.pipeline).
+    pipeline: object = None
 
 
 #: The sweep trace, installed worker-side by the pool initializer.
@@ -910,6 +916,7 @@ def _sweep_case_main(payload: _SweepCasePayload):
     scheduler = StreamScheduler(
         config=payload.config,
         params=payload.params,
+        pipeline=payload.pipeline,
         runner=payload.runner_factory(),
         double_buffer=payload.double_buffer,
         energy_model=payload.energy_model,

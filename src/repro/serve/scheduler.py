@@ -361,7 +361,9 @@ class StreamScheduler:
         """
         if self._ref_sched is None:
             self._ref_log = []
-            runner = KernelRunner(engine="reference")
+            # Same design point, golden engine: the replay must simulate
+            # the machine the primary runner failed on.
+            runner = KernelRunner(engine="reference", spec=self.runner.spec)
             runner.launch_log = self._ref_log
             self._ref_sched = StreamScheduler(
                 config=self.config,

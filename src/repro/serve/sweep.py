@@ -2,43 +2,63 @@
 
 A :class:`ParameterSweep` replays the same :class:`~repro.serve.WindowStream`
 under N cases — different platform configurations (``cpu``,
-``cpu_fft_accel``, ``cpu_vwr2a``) and/or different
+``cpu_fft_accel``, ``cpu_vwr2a``), different
 :class:`~repro.app.AppParams` (filter taps, delineation thresholds,
-spectral feature bands) — on one shared runner, so compiled programs,
-configuration-word encodings and SPM-conflict verdicts carry over between
-cases instead of being rebuilt per scenario.
+spectral feature bands), and/or different :class:`~repro.arch.ArchSpec`
+design points (array geometry, SPM capacity, clock) — on one shared
+runner per design point, so compiled programs, configuration-word
+encodings and SPM-conflict verdicts carry over between cases instead of
+being rebuilt per scenario.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.app.mbiotracker import AppParams
+from repro.arch import ArchSpec
 from repro.core.errors import ConfigurationError
+from repro.energy.model import EnergyModel
 from repro.kernels.runner import KernelRunner
+from repro.serve.report import StreamReport
 from repro.serve.scheduler import StreamScheduler
 from repro.serve.stream import WindowStream
 
 
 @dataclass(frozen=True)
 class SweepCase:
-    """One sweep axis point: a named configuration + parameter variant."""
+    """One sweep axis point: a named configuration + parameter variant.
 
-    name: str                  #: unique case label (report key)
-    config: str = "cpu_vwr2a"  #: platform configuration
-    params: object = None      #: AppParams override (None = paper defaults)
+    ``arch`` selects the VWR2A design point the case runs on; ``None``
+    means the sweep runner's own spec (the paper geometry by default).
+    Cases sharing a design point share a runner — and therefore its
+    compile-once caches — while distinct specs get isolated platforms.
+    """
+
+    name: str                       #: unique case label (report key)
+    config: str = "cpu_vwr2a"       #: platform configuration
+    params: AppParams | None = None  #: AppParams override (None = paper)
+    arch: ArchSpec | None = None     #: design point (None = sweep default)
+    #: Picklable ``(runner, samples) -> result`` callable serving each
+    #: window instead of the MBioTracker pipeline (e.g. a single-kernel
+    #: workload from :mod:`repro.explore.kernels`). Wins over
+    #: ``config``/``params`` exactly as in :class:`StreamScheduler`.
+    pipeline: object = None
 
 
 @dataclass
 class SweepReport:
     """Per-case stream reports plus cross-case comparisons."""
 
-    reports: dict = field(default_factory=dict)  #: case name -> StreamReport
+    #: case name -> StreamReport
+    reports: dict[str, StreamReport] = field(default_factory=dict)
 
     @property
-    def cases(self) -> list:
+    def cases(self) -> list[str]:
         return list(self.reports)
 
-    def __getitem__(self, name: str):
+    def __getitem__(self, name: str) -> StreamReport:
         return self.reports[name]
 
     def __iter__(self):
@@ -75,19 +95,28 @@ class ParameterSweep:
     """Runs one trace through every case, reusing a single runner.
 
     ``cases`` is an iterable of :class:`SweepCase` (plain configuration
-    strings are promoted to default-parameter cases). All cases share the
-    sweep's runner and therefore its configuration-memory and
-    compiled-program caches — the amortization that makes wide sweeps
-    cheap. ``window``/``hop``/``tail`` shape the stream exactly as in
-    :class:`~repro.serve.WindowStream`.
+    strings are promoted to default-parameter cases). Cases on the default
+    design point share the sweep's runner and therefore its
+    configuration-memory and compiled-program caches — the amortization
+    that makes wide sweeps cheap; cases carrying an ``arch`` spec share a
+    per-spec runner instead. ``window``/``hop``/``tail`` shape the stream
+    exactly as in :class:`~repro.serve.WindowStream`.
+
+    ``energy_model=True`` (the default) calibrates per design point:
+    default-spec cases get :func:`repro.energy.default_model`, arch cases
+    get :func:`repro.energy.model_for` on their spec. An explicit
+    :class:`~repro.energy.EnergyModel` is applied to every case verbatim —
+    only meaningful when all cases share one design point.
     """
 
-    def __init__(self, cases, window: int = None, hop: int = None,
-                 tail: str = "drop", runner: KernelRunner = None,
-                 energy_model=True, double_buffer: bool = True,
-                 workers: int = None) -> None:
-        self.cases = []
-        names = set()
+    def __init__(self, cases: Iterable[SweepCase | str],
+                 window: int | None = None, hop: int | None = None,
+                 tail: str = "drop", runner: KernelRunner | None = None,
+                 energy_model: EnergyModel | bool | None = True,
+                 double_buffer: bool = True,
+                 workers: int | None = None) -> None:
+        self.cases: list[SweepCase] = []
+        names: set[str] = set()
         for case in cases:
             if isinstance(case, str):
                 case = SweepCase(name=case, config=case)
@@ -107,12 +136,15 @@ class ParameterSweep:
         self.hop = hop
         self.tail = tail
         self.runner = runner if runner is not None else KernelRunner()
+        self._auto_energy = energy_model is True
         if energy_model is True:
             from repro.energy import default_model
 
             # Calibrate once here, not once per case scheduler.
             energy_model = default_model()
-        self.energy_model = energy_model
+        self.energy_model: EnergyModel | None = (
+            energy_model if energy_model is not None else None
+        )
         self.double_buffer = double_buffer
         if workers is not None and workers < 1:
             raise ConfigurationError(
@@ -124,6 +156,26 @@ class ParameterSweep:
                 "runner and workers>1 are mutually exclusive"
             )
         self.workers = workers
+        #: spec fingerprint -> shared runner for that design point
+        self._spec_runners: dict[str, KernelRunner] = {}
+
+    def _case_runner(self, case: SweepCase) -> KernelRunner:
+        """The (shared-per-spec) runner serving ``case``."""
+        if case.arch is None or case.arch == self.runner.spec:
+            return self.runner
+        key = case.arch.fingerprint
+        if key not in self._spec_runners:
+            self._spec_runners[key] = KernelRunner(spec=case.arch)
+        return self._spec_runners[key]
+
+    def _case_energy(self, case: SweepCase) -> EnergyModel | None:
+        """The energy model serving ``case`` (spec-calibrated if auto)."""
+        if self._auto_energy and case.arch is not None \
+                and case.arch != self.runner.spec:
+            from repro.energy import model_for
+
+            return model_for(case.arch)
+        return self.energy_model
 
     def run(self, trace) -> SweepReport:
         """Serve ``trace`` under every case; returns the sweep report.
@@ -144,9 +196,10 @@ class ParameterSweep:
             scheduler = StreamScheduler(
                 config=case.config,
                 params=case.params,
-                runner=self.runner,
+                pipeline=case.pipeline,
+                runner=self._case_runner(case),
                 double_buffer=self.double_buffer,
-                energy_model=self.energy_model,
+                energy_model=self._case_energy(case),
             )
             report.reports[case.name] = scheduler.run(stream)
         return report
@@ -160,12 +213,13 @@ class ParameterSweep:
                 name=case.name,
                 config=case.config,
                 params=case.params,
+                pipeline=case.pipeline,
                 window=self.window,
                 hop=self.hop,
                 tail=self.tail,
-                energy_model=self.energy_model,
+                energy_model=self._case_energy(case),
                 double_buffer=self.double_buffer,
-                runner_factory=RunnerFactory(),
+                runner_factory=RunnerFactory(spec=case.arch),
             )
             for case in self.cases
         ]

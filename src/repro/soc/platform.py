@@ -12,9 +12,11 @@ from repro.arch import (
     DEFAULT_PARAMS,
     DEFAULT_SOC_PARAMS,
     ArchParams,
+    ArchSpec,
     SocParams,
 )
 from repro.core.cgra import Vwr2a
+from repro.core.errors import ConfigurationError
 from repro.core.events import EventCounters
 from repro.soc.bus import AhbBus
 from repro.soc.cpu import CortexM4Model
@@ -34,12 +36,28 @@ class BiosignalSoC:
 
     def __init__(
         self,
-        params: ArchParams = DEFAULT_PARAMS,
-        soc_params: SocParams = DEFAULT_SOC_PARAMS,
+        params: ArchParams = None,
+        soc_params: SocParams = None,
         engine: str = DEFAULT_ENGINE,
+        spec: ArchSpec = None,
     ) -> None:
-        self.params = params
-        self.soc_params = soc_params
+        if spec is None:
+            spec = ArchSpec(
+                arch=params if params is not None else DEFAULT_PARAMS,
+                soc=soc_params if soc_params is not None else
+                DEFAULT_SOC_PARAMS,
+            )
+        elif (params is not None and params != spec.arch) or (
+            soc_params is not None and soc_params != spec.soc
+        ):
+            raise ConfigurationError(
+                "pass either spec= or params=/soc_params=, not disagreeing "
+                "both: the spec is the single source of geometry"
+            )
+        self.spec = spec
+        self.params = spec.arch
+        self.soc_params = spec.soc
+        params, soc_params = self.params, self.soc_params
         self.events = EventCounters()
         self.bus = AhbBus(soc_params, self.events)
         self.sram = BankedSram(soc_params, self.events)
@@ -51,6 +69,7 @@ class BiosignalSoC:
             bus=self.bus,
             dma_setup_cycles=soc_params.dma_setup_cycles,
             engine=engine,
+            spec=spec,
         )
         self.power = PowerManager()
         self.irq = InterruptController()
