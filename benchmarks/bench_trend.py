@@ -13,6 +13,12 @@ latter only when *both* snapshots were measured with the guard enforced,
 so a 1-CPU laptop snapshot can never trip the trend gate; the
 ``skip_reason`` field says why a side was unenforced). Improvements and
 new metrics always pass — the committed file is a floor, not a pin.
+
+The same comparison is published on the metrics bus
+(:func:`publish_rows` — ``repro_bench_guarded_metric`` /
+``repro_bench_regression`` gauges), so the guarded ratios are observable
+live through the obs layer, not only in CI logs; ``--prom FILE`` writes
+the Prometheus text exposition next to the report (``-`` for stdout).
 """
 
 from __future__ import annotations
@@ -63,13 +69,58 @@ def compare(committed: dict, regenerated: dict) -> list:
     return rows
 
 
+def publish_rows(bus, rows) -> None:
+    """Publish the comparison on a metrics bus (gauges, per metric)."""
+    for metric, old, new, drop, _ in rows:
+        bus.set_gauge(
+            "repro_bench_guarded_metric", old,
+            metric=metric, side="committed",
+        )
+        bus.set_gauge(
+            "repro_bench_guarded_metric", new,
+            metric=metric, side="regenerated",
+        )
+        bus.set_gauge("repro_bench_regression", drop, metric=metric)
+
+
 def main(argv: list) -> int:
+    prom_path = None
+    if "--prom" in argv:
+        at = argv.index("--prom")
+        try:
+            prom_path = argv[at + 1]
+        except IndexError:
+            print("--prom needs a file path (or - for stdout)")
+            return 2
+        argv = argv[:at] + argv[at + 2:]
     if len(argv) != 3:
         print(__doc__)
         return 2
     committed = json.loads(open(argv[1]).read())
     regenerated = json.loads(open(argv[2]).read())
     rows = compare(committed, regenerated)
+    try:
+        from repro.obs import MetricsBus, get_bus, render_prometheus
+    except ImportError:
+        # Standalone invocation without the package on sys.path: the
+        # gate still works, only the live/exposition side is off.
+        if prom_path is not None:
+            print("--prom needs the repro package importable "
+                  "(PYTHONPATH=src or pip install -e .)")
+            return 2
+    else:
+        bus = get_bus()  # publish into an installed bus when one is live
+        if bus is None and prom_path is not None:
+            bus = MetricsBus()
+        if bus is not None:
+            publish_rows(bus, rows)
+        if prom_path is not None:
+            text = render_prometheus(bus)
+            if prom_path == "-":
+                sys.stdout.write(text)
+            else:
+                with open(prom_path, "w") as handle:
+                    handle.write(text)
     failed = False
     for metric, old, new, drop, bad in rows:
         verdict = "FAIL" if bad else "ok"

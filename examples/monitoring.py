@@ -1,0 +1,74 @@
+"""Live observability: metrics bus, scrape endpoint, snapshot digest.
+
+Three acts over a pooled MBioTracker stream (docs/observability.md):
+
+1. install a :class:`~repro.obs.MetricsBus` and serve a pooled stream —
+   every window, engine decision, cache hit and µJ lands on the bus;
+2. expose the bus through the Prometheus text endpoint
+   (:class:`~repro.obs.MetricsExporter`) and scrape it over HTTP —
+   exactly what ``curl http://host:port/metrics`` (or a real Prometheus
+   server) would see;
+3. feed a snapshot into the monitoring :class:`~repro.obs.MonitorModel`
+   and print the text dashboard (``python -m repro.obs`` shows the same
+   live, full-screen).
+
+Run with: ``PYTHONPATH=src python examples/monitoring.py``
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.request
+
+from repro.app import WINDOW, respiration_signal
+from repro.obs import (
+    MetricsExporter,
+    MonitorModel,
+    default_bus,
+    recording,
+    render_text,
+    snapshot_samples,
+)
+from repro.serve import serve_trace
+
+N_WINDOWS = 4
+WORKERS = 2
+
+
+def main() -> None:
+    trace = respiration_signal(N_WINDOWS * WINDOW)
+
+    print("== act 1: serve a pooled stream with the bus installed ==")
+    with recording(default_bus()) as bus:
+        exporter = MetricsExporter(bus)
+        url = exporter.start()
+        report = serve_trace(trace, workers=WORKERS)
+    print(report.summary())
+    snap = bus.snapshot()
+    print(f"bus: {snap.counter('repro_windows_served_total'):.0f} windows, "
+          f"{snap.counter('repro_window_cycles_total'):.0f} cycles, "
+          f"{snap.counter('repro_energy_uj_total'):.2f} uJ")
+
+    print(f"\n== act 2: scrape the endpoint ({url}) ==")
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        exposition = response.read().decode()
+    interesting = (
+        "repro_stream_windows_per_second",
+        "repro_launches_total",
+        "repro_pool_worker_windows_total",
+        "repro_energy_uj_total",
+    )
+    for line in exposition.splitlines():
+        if line.startswith(interesting):
+            print(f"  {line}")
+    print(f"  ... ({len(exposition.splitlines())} lines total)")
+    exporter.stop()
+
+    print("\n== act 3: the monitor dashboard over one snapshot ==")
+    model = MonitorModel()
+    model.ingest(snapshot_samples(snap), now=time.monotonic())
+    print(render_text(model))
+
+
+if __name__ == "__main__":
+    main()

@@ -48,9 +48,19 @@ class StoreStats:
     analysis_hits: int = 0    #: SPM-conflict verdicts reused off the config
     analysis_misses: int = 0  #: SPM-conflict verdicts actually computed
 
+    def as_dict(self) -> dict:
+        """The counters as a plain ``name -> count`` dict.
+
+        The public read API for consumers that want all counters at once
+        — benchmarks, the metrics bus
+        (:func:`repro.obs.instruments.record_store_stats`) — instead of
+        reaching into the attributes field by field.
+        """
+        return asdict(self)
+
     def snapshot(self) -> dict:
         """An immutable copy of the counters (pairs with :meth:`since`)."""
-        return asdict(self)
+        return self.as_dict()
 
     def since(self, snapshot: dict) -> dict:
         """Counter deltas accumulated since a :meth:`snapshot`.
@@ -61,7 +71,7 @@ class StoreStats:
         """
         return {
             name: count - snapshot.get(name, 0)
-            for name, count in asdict(self).items()
+            for name, count in self.as_dict().items()
         }
 
 

@@ -35,6 +35,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.core.errors import ConfigurationError
 from repro.faults.plan import FAULT_KINDS, FaultPlan
+from repro.obs.bus import get_bus
 
 #: Default sweep: one representative of every fault layer.
 DEFAULT_KINDS = (
@@ -238,14 +239,29 @@ class FaultCampaign:
             reference_fallback=self.reference_fallback,
             baseline_wall_seconds=time.perf_counter() - base_start,
         )
+        n_cells = len(self.kinds) * len(self.rates) * len(self.persists)
+        bus = get_bus()
+        if bus is not None:
+            bus.set_gauge("repro_campaign_cells", n_cells)
+            bus.set_gauge("repro_campaign_cells_done", 0)
         cell_seed = self.seed
         for kind in self.kinds:
             for rate in self.rates:
                 for persist in self.persists:
                     cell_seed += 1
-                    report.cells.append(self._run_cell(
+                    cell = self._run_cell(
                         stream, baseline, kind, rate, persist, cell_seed,
-                    ))
+                    )
+                    report.cells.append(cell)
+                    bus = get_bus()
+                    if bus is not None:
+                        bus.set_gauge(
+                            "repro_campaign_cells_done", len(report.cells)
+                        )
+                        bus.inc(
+                            "repro_campaign_cells_total",
+                            verdict="ok" if cell.ok else "broken",
+                        )
         return report
 
     def _run_cell(self, stream, baseline, kind: str, rate: float,

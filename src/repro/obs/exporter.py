@@ -1,0 +1,271 @@
+"""Prometheus text exposition over the metrics bus.
+
+One render function (:func:`render_prometheus`) produces version 0.0.4
+text exposition from a :class:`~repro.obs.MetricsBus` or a
+:class:`~repro.obs.BusSnapshot`; the HTTP endpoint
+(:class:`MetricsExporter`, stdlib :mod:`http.server` — no dependencies)
+and the ``python -m repro.obs --once`` CLI dump both call exactly it, so
+what a scraper sees and what the one-shot dump prints can never drift.
+:func:`parse_prometheus` is the inverse reader the monitoring TUI uses
+to tail a remote exporter.
+
+Output is deterministic: families sort by name, series by label key, and
+``# HELP`` text comes from the metric registry
+(:data:`repro.obs.instruments.REGISTRY`) — the golden test in
+``tests/test_obs.py`` pins the format byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.bus import BusSnapshot, MetricsBus
+from repro.obs.instruments import REGISTRY
+
+#: The exposition content type scrapers expect.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the text-format rules."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _fmt(value) -> str:
+    """Render one sample value (integers without a trailing ``.0``)."""
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _series(name: str, labels_key: tuple, value,
+            extra: tuple = ()) -> str:
+    """One sample line: ``name{label="v",...} value``."""
+    pairs = tuple(labels_key) + tuple(extra)
+    if pairs:
+        rendered = ",".join(
+            f'{label}="{_escape(text)}"' for label, text in pairs
+        )
+        return f"{name}{{{rendered}}} {_fmt(value)}"
+    return f"{name} {_fmt(value)}"
+
+
+def _header(name: str, kind: str, lines: list) -> None:
+    metric = REGISTRY.get(name)
+    if metric is not None:
+        unit = f" [{metric.unit}]" if metric.unit else ""
+        lines.append(f"# HELP {name} {metric.help}{unit}")
+    else:
+        lines.append(f"# HELP {name} (unregistered metric)")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(source) -> str:
+    """The full text exposition of ``source`` (a bus or a snapshot)."""
+    snapshot = (
+        source.snapshot() if isinstance(source, MetricsBus) else source
+    )
+    if not isinstance(snapshot, BusSnapshot):
+        raise TypeError(
+            f"expected MetricsBus or BusSnapshot, got {type(source).__name__}"
+        )
+    by_family = {}
+    for (name, labels_key), value in snapshot.counters.items():
+        by_family.setdefault((name, "counter"), []).append(
+            (labels_key, value)
+        )
+    for (name, labels_key), value in snapshot.gauges.items():
+        by_family.setdefault((name, "gauge"), []).append(
+            (labels_key, value)
+        )
+    for (name, labels_key), hist in snapshot.histograms.items():
+        by_family.setdefault((name, "histogram"), []).append(
+            (labels_key, hist)
+        )
+    lines = []
+    for (name, kind), series in sorted(by_family.items()):
+        _header(name, kind, lines)
+        for labels_key, value in sorted(series, key=lambda s: s[0]):
+            if kind != "histogram":
+                lines.append(_series(name, labels_key, value))
+                continue
+            running = 0
+            for bound, count in zip(value.bounds, value.counts):
+                running += count
+                lines.append(_series(
+                    f"{name}_bucket", labels_key, running,
+                    extra=(("le", _fmt(bound)),),
+                ))
+            lines.append(_series(
+                f"{name}_bucket", labels_key, value.count,
+                extra=(("le", "+Inf"),),
+            ))
+            lines.append(_series(f"{name}_sum", labels_key, value.sum))
+            lines.append(_series(f"{name}_count", labels_key, value.count))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict:
+    """Samples of a text exposition: ``(name, labels_key) -> float``.
+
+    The reader side of :func:`render_prometheus` (histogram series come
+    back as their exploded ``_bucket``/``_sum``/``_count`` samples).
+    Tolerant of any conforming exposition, not just our own.
+    """
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            raw_labels, value_part = rest.rsplit("}", 1)
+            labels = []
+            for chunk in _split_labels(raw_labels):
+                label, raw = chunk.split("=", 1)
+                raw = raw.strip()
+                if raw.startswith('"') and raw.endswith('"'):
+                    raw = raw[1:-1]
+                labels.append((label.strip(), _unescape(raw)))
+            key = (name.strip(), tuple(sorted(labels)))
+        else:
+            name, value_part = line.split(None, 1)
+            key = (name.strip(), ())
+        samples[key] = float(value_part.split()[0])
+    return samples
+
+
+def _unescape(value: str) -> str:
+    """Undo :func:`_escape` (single left-to-right pass, not chained
+    ``str.replace`` — ``\\\\n`` must decode to backslash-n, not newline)."""
+    out = []
+    i = 0
+    while i < len(value):
+        char = value[i]
+        if char == "\\" and i + 1 < len(value):
+            escape = value[i + 1]
+            out.append(
+                {"n": "\n", "\\": "\\", '"': '"'}.get(escape, char + escape)
+            )
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
+
+
+def _split_labels(raw: str) -> list:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts, depth, current = [], False, []
+    escaped = False
+    for char in raw:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\":
+            current.append(char)
+            escaped = True
+        elif char == '"':
+            depth = not depth
+            current.append(char)
+        elif char == "," and not depth:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part for part in (p.strip() for p in parts) if part]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (and a one-line index at ``/``)."""
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path.split("?")[0] not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        if self.path.split("?")[0] == "/":
+            body = b"repro metrics exporter; scrape /metrics\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = render_prometheus(self.server.bus).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:
+        """Silence per-request stderr chatter (scrapes are periodic)."""
+
+
+class MetricsExporter:
+    """A Prometheus scrape endpoint over one bus, on a daemon thread.
+
+    >>> from repro.obs import MetricsBus, MetricsExporter
+    >>> exporter = MetricsExporter(MetricsBus(), port=0)  # 0: pick free
+    >>> url = exporter.start()
+    >>> exporter.stop()
+
+    Also usable as a context manager (``with MetricsExporter(bus) as url``).
+    """
+
+    def __init__(self, bus: MetricsBus, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.bus = bus
+        self.host = host
+        self.port = port
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        """The scrape URL (valid once :meth:`start` returned)."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> str:
+        """Bind, start serving on a daemon thread, return the scrape URL."""
+        if self._server is not None:
+            return self.url
+        self._server = ThreadingHTTPServer(
+            (self.host, self.port), _Handler
+        )
+        self._server.daemon_threads = True
+        self._server.bus = self.bus
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

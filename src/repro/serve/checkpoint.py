@@ -31,6 +31,7 @@ import warnings
 from dataclasses import dataclass, field, is_dataclass
 
 from repro.core.errors import ConfigurationError
+from repro.obs.bus import get_bus
 
 #: Bump when CheckpointState stops being readable by older code.
 #: v2 added the quarantine ledger (``failed``) and resilience counters.
@@ -295,6 +296,10 @@ class StreamCheckpoint:
                 os.unlink(tmp_path)
             raise
         self._since_save = 0
+        bus = get_bus()
+        if bus is not None:
+            bus.inc("repro_checkpoint_saves_total")
+            bus.set_gauge("repro_checkpoint_lag_windows", 0)
 
     def mark(self, state: CheckpointState) -> bool:
         """Count one completed window; save when the cadence is due.
@@ -305,6 +310,11 @@ class StreamCheckpoint:
         if self._since_save >= self.every:
             self.save(state)
             return True
+        bus = get_bus()
+        if bus is not None:
+            bus.set_gauge(
+                "repro_checkpoint_lag_windows", self._since_save
+            )
         return False
 
     def clear(self) -> None:

@@ -58,6 +58,15 @@ from dataclasses import dataclass
 from repro.app.mbiotracker import window_pipeline
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.kernels.runner import KernelRunner, RunnerFactory
+from repro.obs.bus import get_bus
+from repro.obs.instruments import (
+    record_failed,
+    record_pool_state,
+    record_progress,
+    record_resilience,
+    record_window,
+    record_worker_retired,
+)
 from repro.serve.checkpoint import (
     CheckpointState,
     finalize_session,
@@ -581,6 +590,9 @@ class PoolScheduler:
 
         def tally(counts: dict) -> None:
             merge_counts(state.resilience, counts)
+            bus = get_bus()
+            if bus is not None:
+                record_resilience(bus, counts)
 
         def mark() -> None:
             if checkpoint is not None:
@@ -604,6 +616,9 @@ class PoolScheduler:
                 kinds=tuple(dict.fromkeys(kinds)), detail=why,
             )
             tally({"quarantined": 1})
+            bus = get_bus()
+            if bus is not None:
+                record_failed(bus)
             mark()
 
         def next_attempt(entry, kinds, why) -> None:
@@ -622,7 +637,7 @@ class PoolScheduler:
                     fail_kinds.pop(index, list(kinds)), why,
                 )
 
-        def accept(result, stats_delta, force_reference) -> None:
+        def accept(result, stats_delta, force_reference, wid) -> None:
             take_in_flight(result.index)
             if result.index in state.results:
                 # A worker's result raced its own requeue (it was
@@ -644,6 +659,11 @@ class PoolScheduler:
             fail_kinds.pop(result.index, None)
             state.results[result.index] = result
             merge_counts(state.store_stats, stats_delta)
+            bus = get_bus()
+            if bus is not None:
+                # Host-side merge point: one record per accepted result,
+                # so bus totals equal the merged report's counts exactly.
+                record_window(bus, result, stats_delta, worker=wid)
             if force_reference:
                 tally({"reference_recoveries": 1})
             mark()
@@ -655,7 +675,7 @@ class PoolScheduler:
                 last_progress[wid] = time.monotonic()
             if kind == "ok":
                 _, _, result, stats_delta, force_reference = message
-                accept(result, stats_delta, force_reference)
+                accept(result, stats_delta, force_reference, wid)
             elif kind == "retry":
                 _, _, index, attempt, force_reference, kinds = message
                 tally({f"fault:{k}": 1 for k in kinds})
@@ -701,6 +721,9 @@ class PoolScheduler:
             proc = procs.pop(wid)
             proc.join(timeout=5.0)  # reap the corpse — no zombies
             last_progress.pop(wid, None)
+            bus = get_bus()
+            if bus is not None:
+                record_worker_retired(bus, wid)
             _drain_queue(tq)
             tq.close()
             tq.cancel_join_thread()
@@ -796,6 +819,18 @@ class PoolScheduler:
                 if failure is not None:
                     break
                 dispatch()
+                bus = get_bus()
+                if bus is not None:
+                    # One gauge refresh per supervision tick (~10 Hz):
+                    # queue depths, live workers, stream progress.
+                    record_pool_state(bus, in_flight, sum(
+                        1 for w in procs
+                        if procs[w].is_alive() and w not in finished
+                    ))
+                    record_progress(
+                        bus, state.n_done + state.n_failed, total,
+                        wall_base + time.perf_counter() - wall_start,
+                    )
                 if (
                     feed_done.is_set() and not requeue and ready.empty()
                     and not any(in_flight.values())

@@ -31,6 +31,13 @@ import time
 from repro.app.mbiotracker import window_pipeline
 from repro.core.errors import ConfigurationError
 from repro.kernels.runner import KernelRunner
+from repro.obs.bus import get_bus
+from repro.obs.instruments import (
+    record_failed,
+    record_progress,
+    record_resilience,
+    record_window,
+)
 from repro.serve.checkpoint import (
     CheckpointState,
     finalize_session,
@@ -162,13 +169,35 @@ class StreamScheduler:
                         or window.index in state.failed:
                     continue
                 window_stats = stats.snapshot()
+                # Metrics are host-side bookkeeping over the window's
+                # results — off by default, and never feeding back into
+                # simulated state (see repro.obs.instruments).
+                bus = get_bus()
+                resilience_before = (
+                    dict(state.resilience) if bus is not None else None
+                )
                 if self._injector is None:
                     result = self.serve_window(window, log)
                 else:
                     result = self._serve_resilient(window, log, state)
                 if result is not None:
                     state.results[window.index] = result
-                merge_counts(state.store_stats, stats.since(window_stats))
+                stats_delta = stats.since(window_stats)
+                merge_counts(state.store_stats, stats_delta)
+                if bus is not None:
+                    if result is not None:
+                        record_window(bus, result, stats_delta)
+                    else:
+                        record_failed(bus)
+                    record_resilience(bus, {
+                        name: count - resilience_before.get(name, 0)
+                        for name, count in state.resilience.items()
+                    })
+                    record_progress(
+                        bus, state.n_done + state.n_failed,
+                        state.n_windows,
+                        wall_base + time.perf_counter() - wall_start,
+                    )
                 if checkpoint is not None:
                     state.wall_seconds = \
                         wall_base + time.perf_counter() - wall_start
