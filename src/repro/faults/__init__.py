@@ -4,8 +4,10 @@ The resilience layer of docs/robustness.md, in three pieces:
 
 * :class:`FaultPlan` / :class:`FaultSpec` — deterministic, seeded fault
   schedules over a window stream: SPM bit-flips and stuck-at words,
-  power-domain brownouts, corrupted/truncated trace chunks, and worker
-  kills/hangs (:mod:`repro.faults.plan`);
+  power-domain brownouts, corrupted/truncated trace chunks, worker
+  kills/hangs, and transport faults over the fleet framing layer
+  (dropped/delayed/duplicated/corrupted/truncated frames, mid-stream
+  disconnects, slow-loris peers) (:mod:`repro.faults.plan`);
 * :class:`FaultInjector` — executes a plan against one live platform,
   one serving attempt at a time, healing everything it displaced so
   retries are bit-identical (:mod:`repro.faults.injector`);
@@ -27,6 +29,8 @@ from repro.faults.injector import FaultInjector, is_fault_failure
 from repro.faults.plan import (
     CHUNK_FAULTS,
     FAULT_KINDS,
+    NET_FAULT_SIDES,
+    NET_FAULTS,
     POWER_FAULTS,
     PROCESS_FAULTS,
     SPM_FAULTS,
@@ -43,6 +47,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "NET_FAULTS",
+    "NET_FAULT_SIDES",
     "POWER_FAULTS",
     "PROCESS_FAULTS",
     "SPM_FAULTS",

@@ -34,7 +34,7 @@ import time
 from dataclasses import asdict, dataclass, field
 
 from repro.core.errors import ConfigurationError
-from repro.faults.plan import FAULT_KINDS, FaultPlan
+from repro.faults.plan import FAULT_KINDS, NET_FAULTS, FaultPlan
 from repro.obs.bus import get_bus
 
 #: Default sweep: one representative of every fault layer.
@@ -61,6 +61,9 @@ class CampaignCell:
     mismatch: str      #: first difference when they do not (else None)
     resilience: dict   #: the run's resilience counters
     wall_seconds: float  #: host wall clock of the injected run
+    #: which executor served the cell: ``"pool"`` (in-process worker
+    #: pool) or ``"fleet"`` (TCP loopback fleet — the ``net_*`` kinds).
+    transport: str = "pool"
 
     @property
     def ok(self) -> bool:
@@ -113,12 +116,23 @@ class CampaignReport:
                 "reference_fallback": self.reference_fallback,
                 "baseline_wall_seconds": self.baseline_wall_seconds,
                 "ok": self.ok,
+                "net": self.net_section(),
                 "cells": [
                     dict(asdict(cell), ok=cell.ok) for cell in self.cells
                 ],
             },
             indent=indent,
         )
+
+    def net_section(self) -> dict:
+        """The network-chaos slice of the report (the ``--net`` cells)."""
+        net_cells = [c for c in self.cells if c.transport == "fleet"]
+        return {
+            "swept": bool(net_cells),
+            "cells": len(net_cells),
+            "kinds": sorted({c.kind for c in net_cells}),
+            "ok": all(c.ok for c in net_cells) if net_cells else True,
+        }
 
     def summary(self) -> str:
         """Human-readable digest, one line per cell."""
@@ -134,8 +148,13 @@ class CampaignReport:
             detail = ""
             if not cell.bit_identical:
                 detail = f" [{cell.mismatch}]"
+            over = (
+                f" over {cell.transport}" if cell.transport != "pool"
+                else ""
+            )
             lines.append(
-                f"  {cell.kind} @ rate={cell.rate} persist={cell.persist} "
+                f"  {cell.kind} @ rate={cell.rate} persist={cell.persist}"
+                f"{over} "
                 f"({'recoverable' if cell.recoverable else 'unrecoverable'}"
                 f", {cell.n_faults} faults): {cell.n_served} served, "
                 f"{cell.n_quarantined} quarantined — {verdict}{detail}"
@@ -168,7 +187,8 @@ class FaultCampaign:
                  reference_fallback: bool = True, respawn_limit=None,
                  heartbeat_timeout: float = None, params=None,
                  pipeline=None, energy_model=None,
-                 compiled_only: bool = False) -> None:
+                 compiled_only: bool = False,
+                 task_deadline: float = None) -> None:
         kinds = tuple(kinds) if kinds is not None else DEFAULT_KINDS
         for kind in kinds:
             if kind not in FAULT_KINDS:
@@ -196,19 +216,27 @@ class FaultCampaign:
         self.pipeline = pipeline
         self.energy_model = energy_model
         self.compiled_only = compiled_only
+        #: Per-task deadline for the fleet cells (``net_*`` kinds);
+        #: defaults to 3 seconds when such a cell runs.
+        self.task_deadline = task_deadline
 
-    def recoverable(self, persist: int) -> bool:
+    def recoverable(self, persist: int, kind: str = None) -> bool:
         """Whether the retry ladder out-lives a fault of ``persist``.
 
         Attempts ``0 .. max_retries`` run on the primary engine; the
         reference attempt (number ``max_retries + 1``) is clean when the
         fault either stopped persisting or is ``compiled_only`` (the
-        damage the reference engine exists to route around).
+        damage the reference engine exists to route around). Network
+        faults fire per frame *transmission* — one per ladder rung — so
+        the same arithmetic applies, except ``compiled_only`` buys them
+        nothing (the framing layer has no engines).
         """
         if persist <= self.max_retries:
             return True
         if not self.reference_fallback:
             return False
+        if kind is not None and kind in NET_FAULTS:
+            return persist <= self.max_retries + 1
         return self.compiled_only or persist <= self.max_retries + 1
 
     def run(self, trace, window: int = None, hop: int = None,
@@ -273,6 +301,10 @@ class FaultCampaign:
             window=stream.window, persist=persist,
             compiled_only=self.compiled_only,
         )
+        if kind in NET_FAULTS:
+            return self._run_cell_fleet(
+                stream, baseline, plan, kind, rate, persist, cell_seed,
+            )
         respawn_limit = self.respawn_limit
         if respawn_limit is None:
             # Every scheduled process fault can take a worker with it up
@@ -312,6 +344,82 @@ class FaultCampaign:
             mismatch=mismatch,
             resilience=dict(injected.resilience),
             wall_seconds=wall,
+        )
+
+    def _run_cell_fleet(self, stream, baseline, plan, kind: str,
+                        rate: float, persist: int,
+                        cell_seed: int) -> CampaignCell:
+        """One ``net_*`` cell: a loopback TCP fleet instead of the pool.
+
+        The server injects task-side faults through its own
+        :class:`~repro.serve.net.framing.NetGate`; result-side specs
+        ride to the workers with the spec frame. Worker processes are
+        expendable (daemonized, terminated on exit) — the resilience
+        story is the server's to prove.
+        """
+        import multiprocessing
+
+        from repro.serve.net.server import FleetServer
+        from repro.serve.net.worker import run_worker
+        from repro.serve.pool import _default_start_method
+
+        server = FleetServer(
+            config=self.config,
+            params=self.params,
+            pipeline=self.pipeline,
+            energy_model=self.energy_model,
+            fault_plan=plan,
+            max_retries=self.max_retries,
+            reference_fallback=self.reference_fallback,
+            task_deadline=self.task_deadline or 3.0,
+            heartbeat_timeout=self.heartbeat_timeout or 10.0,
+            register_timeout=60.0,
+            local_fallback=False,
+        )
+        host, port = server.bind()
+        ctx = multiprocessing.get_context(_default_start_method())
+        procs = []
+        start = time.perf_counter()
+        try:
+            for i in range(self.workers):
+                proc = ctx.Process(
+                    target=run_worker,
+                    args=(host, port),
+                    kwargs={
+                        "name": f"fleet-{i}",
+                        "heartbeat_interval": 0.25,
+                        "reconnect_timeout": 30.0,
+                        "process_faults": True,
+                    },
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            injected = server.run(stream)
+        finally:
+            server.close()
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+        wall = time.perf_counter() - start
+        mismatch = served_identical(injected, baseline)
+        return CampaignCell(
+            kind=kind,
+            rate=rate,
+            persist=persist,
+            seed=cell_seed,
+            recoverable=self.recoverable(persist, kind),
+            n_faults=len(plan),
+            n_windows=stream.n_windows,
+            n_served=injected.n_windows,
+            n_quarantined=injected.n_failed,
+            bit_identical=mismatch is None,
+            mismatch=mismatch,
+            resilience=dict(injected.resilience),
+            wall_seconds=wall,
+            transport="fleet",
         )
 
 
@@ -361,6 +469,13 @@ def main(argv=None) -> int:
         help="comma-separated fault kinds to sweep",
     )
     parser.add_argument(
+        "--net", action="store_true",
+        help=(
+            "sweep the network fault family over a loopback TCP fleet "
+            "instead of the default kinds (overrides --kinds)"
+        ),
+    )
+    parser.add_argument(
         "--rates", default="0.5",
         help="comma-separated per-window injection rates",
     )
@@ -388,8 +503,11 @@ def main(argv=None) -> int:
     from repro.app.mbiotracker import WINDOW
     from repro.app.signals import respiration_signal
 
+    kinds = tuple(k for k in args.kinds.split(",") if k)
+    if args.net:
+        kinds = NET_FAULTS
     campaign = FaultCampaign(
-        kinds=tuple(k for k in args.kinds.split(",") if k),
+        kinds=kinds,
         rates=tuple(float(r) for r in args.rates.split(",") if r),
         persists=tuple(int(p) for p in args.persists.split(",") if p),
         seed=args.seed,

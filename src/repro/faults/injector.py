@@ -29,7 +29,7 @@ import signal
 import time
 
 from repro.core.errors import BrownoutError, ConfigurationError
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import NET_FAULTS, FaultPlan
 from repro.serve.stream import corrupt_chunk, truncate_chunk
 from repro.soc.power_domains import Domain
 
@@ -99,6 +99,12 @@ class FaultInjector:
             if not spec.fires(attempt, engine):
                 continue
             kind = spec.kind
+            if kind in NET_FAULTS:
+                # Transport faults live in the framing layer's NetGate;
+                # a platform-side injector passes them through untouched
+                # (the fleet strips them via FaultPlan.without_net, but
+                # a full plan must stay harmless here regardless).
+                continue
             if kind in ("worker_kill", "worker_hang"):
                 if not self.process_faults:
                     self.skipped += 1

@@ -32,7 +32,35 @@ SPM_FAULTS = ("spm_bitflip", "spm_stuck")
 POWER_FAULTS = ("brownout",)
 CHUNK_FAULTS = ("chunk_corrupt", "chunk_truncate")
 PROCESS_FAULTS = ("worker_kill", "worker_hang")
-FAULT_KINDS = SPM_FAULTS + POWER_FAULTS + CHUNK_FAULTS + PROCESS_FAULTS
+#: Transport faults injected at the fleet framing layer
+#: (:class:`repro.serve.net.framing.NetGate`), never inside a platform.
+NET_FAULTS = (
+    "net_drop",        # the frame silently vanishes
+    "net_delay",       # the frame arrives late (deadline pressure)
+    "net_dup",         # the frame arrives twice (dedup pressure)
+    "net_disconnect",  # the sender closes right after the frame
+    "net_corrupt",     # a body byte is flipped (checksum pressure)
+    "net_truncate",    # a partial frame, then the connection closes
+    "net_slow",        # slow-loris: the frame dribbles out in crumbs
+)
+FAULT_KINDS = (
+    SPM_FAULTS + POWER_FAULTS + CHUNK_FAULTS + PROCESS_FAULTS + NET_FAULTS
+)
+
+#: Which transport direction each network fault strikes: ``"task"``
+#: frames (server -> worker) or ``"result"`` frames (worker -> server).
+#: The split keeps each kind's failure signature distinct — task-side
+#: kinds exercise the server's deadline/requeue machinery, result-side
+#: kinds exercise checksum detection and desync recovery.
+NET_FAULT_SIDES = {
+    "net_drop": "task",
+    "net_delay": "task",
+    "net_dup": "task",
+    "net_disconnect": "task",
+    "net_corrupt": "result",
+    "net_truncate": "result",
+    "net_slow": "result",
+}
 
 
 @dataclass(frozen=True)
@@ -54,10 +82,16 @@ class FaultSpec:
     # brownout
     domain: str = "accelerators"  #: Domain value to gate
     after_cycles: int = 1000      #: fuse length from the attempt's start
-    # chunk_corrupt / chunk_truncate
+    # chunk_corrupt / chunk_truncate — and, for net_corrupt /
+    # net_truncate, reinterpreted at the framing layer: ``offset`` is a
+    # byte offset into the frame body, ``xor_mask`` the flipped bits,
+    # ``keep`` the bytes sent before the connection closes (0 = half).
     offset: int = 0     #: sample offset within the window (corrupt)
     xor_mask: int = 1   #: corruption mask (corrupt)
     keep: int = 0       #: samples that survive the short read (truncate)
+    # net_delay / net_slow
+    delay_ms: int = 100   #: added transit latency for the frame
+    chunk_bytes: int = 7  #: slow-loris dribble size (net_slow)
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -107,6 +141,37 @@ class FaultPlan:
     @property
     def has_process_faults(self) -> bool:
         return any(s.kind in PROCESS_FAULTS for s in self.specs)
+
+    @property
+    def has_net_faults(self) -> bool:
+        return any(s.kind in NET_FAULTS for s in self.specs)
+
+    def net_specs(self, side: str = None) -> tuple:
+        """The transport specs — optionally only one direction's.
+
+        ``side`` is ``"task"`` or ``"result"`` per
+        :data:`NET_FAULT_SIDES`; the fleet server arms the task-side
+        specs on its own gate and ships the result-side specs to the
+        workers inside the worker spec.
+        """
+        return tuple(
+            s for s in self.specs if s.kind in NET_FAULTS
+            and (side is None or NET_FAULT_SIDES[s.kind] == side)
+        )
+
+    def without_net(self) -> "FaultPlan":
+        """This plan minus transport specs — what platforms should see.
+
+        Network faults strike frames, not simulated hardware; the fleet
+        hands workers (and its local degradation path) this projection
+        so the platform-side injector never sees a kind it cannot arm.
+        """
+        return FaultPlan(
+            specs=tuple(
+                s for s in self.specs if s.kind not in NET_FAULTS
+            ),
+            seed=self.seed,
+        )
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -189,6 +254,26 @@ class FaultPlan:
                     specs.append(FaultSpec(
                         keep=rng.randrange(window), **common,
                     ))
-                else:  # worker_kill / worker_hang
+                elif kind == "net_delay":
+                    specs.append(FaultSpec(
+                        delay_ms=rng.randrange(50, 400), **common,
+                    ))
+                elif kind == "net_corrupt":
+                    specs.append(FaultSpec(
+                        offset=rng.randrange(256),
+                        xor_mask=1 << rng.randrange(8),
+                        **common,
+                    ))
+                elif kind == "net_truncate":
+                    specs.append(FaultSpec(
+                        keep=rng.randrange(4, 64), **common,
+                    ))
+                elif kind == "net_slow":
+                    specs.append(FaultSpec(
+                        chunk_bytes=rng.randrange(3, 17),
+                        delay_ms=rng.randrange(100, 300),
+                        **common,
+                    ))
+                else:  # worker_kill / worker_hang / net_drop / dup / disc
                     specs.append(FaultSpec(**common))
         return cls(specs=tuple(specs), seed=seed)

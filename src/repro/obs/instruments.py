@@ -113,6 +113,33 @@ METRICS = (
     _m("repro_pool_worker_windows_total", "counter", "windows",
        "Windows served by worker label",
        "serve/pool.py accept()"),
+    # -- fleet transport (serve/net FleetServer event loop) ------------------
+    _m("repro_net_workers_connected", "gauge", "workers",
+       "Registered fleet workers currently connected and ready",
+       "serve/net/server.py event loop"),
+    _m("repro_net_inflight_windows", "gauge", "windows",
+       "Windows dispatched to fleet workers and not yet resolved",
+       "serve/net/server.py event loop"),
+    _m("repro_net_frames_total", "counter", "frames",
+       "Frames moved over the fleet transport by direction label "
+       "(in|out)",
+       "serve/net/server.py _read_conn()/dispatch()"),
+    _m("repro_net_reconnects_total", "counter", "reconnects",
+       "Fleet workers that re-registered after losing their connection",
+       "serve/net/server.py hello handling"),
+    _m("repro_net_retries_total", "counter", "retries",
+       "Fleet retry-ladder rungs spent, by reason label "
+       "(deadline|disconnect|desync|heartbeat|fault|quarantine)",
+       "serve/net/server.py next_attempt()/retire_conn()"),
+    _m("repro_net_checksum_failures_total", "counter", "frames",
+       "Frames dropped for a checksum/decode failure (recoverable)",
+       "serve/net/server.py _read_conn() bad-frame handling"),
+    _m("repro_net_heartbeat_misses_total", "counter", "workers",
+       "Fleet workers retired for heartbeat silence",
+       "serve/net/server.py liveness scan"),
+    _m("repro_net_worker_quarantines_total", "counter", "workers",
+       "Fleet workers benched by the circuit breaker",
+       "serve/net/server.py strike()"),
     # -- checkpointing -------------------------------------------------------
     _m("repro_checkpoint_lag_windows", "gauge", "windows",
        "Windows completed since the last checkpoint flush",
@@ -270,3 +297,34 @@ def record_pool_state(bus, in_flight: dict, alive: int) -> None:
 def record_worker_retired(bus, wid) -> None:
     """Drop a retired worker's queue-depth gauge (it no longer exists)."""
     bus.drop_gauge("repro_pool_queue_depth", worker=str(wid))
+
+
+def record_net_state(bus, connected: int, in_flight: int) -> None:
+    """Publish the fleet transport gauges (one per supervision tick)."""
+    bus.set_gauge("repro_net_workers_connected", connected)
+    bus.set_gauge("repro_net_inflight_windows", in_flight)
+
+
+def record_net_frames(bus, direction: str, n: int = 1) -> None:
+    """Publish frames moved over the transport (``in`` or ``out``)."""
+    bus.inc("repro_net_frames_total", n, direction=direction)
+
+
+def record_net_retry(bus, reason: str, n: int = 1) -> None:
+    """Publish fleet retry-ladder rungs spent, labeled by why."""
+    bus.inc("repro_net_retries_total", n, reason=reason)
+
+
+def record_net_event(bus, event: str, n: int = 1) -> None:
+    """Publish one fleet liveness event counter.
+
+    ``event`` is ``reconnect``, ``checksum_failure``,
+    ``heartbeat_miss`` or ``worker_quarantine`` — each maps to its own
+    registered family (explicit names beat a label soup for alerting).
+    """
+    bus.inc({
+        "reconnect": "repro_net_reconnects_total",
+        "checksum_failure": "repro_net_checksum_failures_total",
+        "heartbeat_miss": "repro_net_heartbeat_misses_total",
+        "worker_quarantine": "repro_net_worker_quarantines_total",
+    }[event], n)

@@ -34,8 +34,9 @@ from repro.core.errors import ConfigurationError
 from repro.obs.bus import get_bus
 
 #: Bump when CheckpointState stops being readable by older code.
-#: v2 added the quarantine ledger (``failed``) and resilience counters.
-FORMAT_VERSION = 2
+#: v2 added the quarantine ledger (``failed``) and resilience counters;
+#: v3 added per-worker fleet namespaces.
+FORMAT_VERSION = 3
 
 
 def describe(obj) -> str:
@@ -161,6 +162,12 @@ class CheckpointState:
     failed: dict = field(default_factory=dict)
     #: resilience counters accumulated over all sessions/workers.
     resilience: dict = field(default_factory=dict)
+    #: per-worker bookkeeping namespaces, keyed by worker name — the
+    #: fleet server records each remote worker's served-window and
+    #: reconnect tallies here so a resumed session (possibly on a
+    #: different server host) still reports who did what. Purely
+    #: observational: resume correctness never depends on it.
+    namespaces: dict = field(default_factory=dict)
 
     @property
     def n_done(self) -> int:

@@ -1,0 +1,335 @@
+"""The fleet wire format: length-prefixed, checksummed frames.
+
+One frame is::
+
+    MAGIC(4) | body_len(u32 BE) | crc32(u32 BE) | body
+
+where the body is ``header_len(u32 BE) | header | payload``: the header
+is compact JSON (message type, window index, attempt — everything the
+server's event loop routes on without unpickling anything), the payload
+an optional pickle blob (window samples, :class:`WindowResult` objects,
+worker specs). The CRC covers the whole body, so a flipped bit anywhere
+is detected before a byte of it reaches :mod:`pickle`.
+
+Corruption handling is deliberately two-tier, and the split is what
+makes the chaos campaign's ``net_corrupt`` cells recoverable while
+``net_truncate`` cells exercise reconnection:
+
+* a frame whose declared length is intact but whose checksum fails is a
+  **recoverable** event — the stream stays aligned, the frame is
+  reported ``("bad", FrameError)`` and dropped, and the task-deadline
+  ladder re-serves the window;
+* bad magic, an oversize declared length (:data:`MAX_FRAME` bounds
+  allocation, so a fuzzed length cannot OOM the server) or a mid-frame
+  EOF mean the byte stream itself can no longer be trusted — a **fatal**
+  :class:`FrameError` — and the only safe recovery is dropping the
+  connection and letting the peer reconnect.
+
+:class:`FrameBuffer` is the incremental decoder for the server's
+non-blocking loop; :func:`send_frame`/:func:`read_frame` are the
+blocking pair for workers. :class:`NetGate` injects the deterministic
+``net_*`` fault family of :mod:`repro.faults` at this layer — on the
+sender, where every kind (drop, delay, dup, corrupt, truncate,
+disconnect, slow-loris) has a faithful socket realization.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+import time
+import zlib
+
+from repro.core.errors import SimulationError
+from repro.faults.plan import NET_FAULT_SIDES, NET_FAULTS
+
+#: Frame preamble; anything else on the wire means a desynced or hostile
+#: peer and is fatal for the connection.
+MAGIC = b"RPF1"
+_PRE = struct.Struct(">4sII")    # magic, body length, body crc32
+_HLEN = struct.Struct(">I")      # JSON header length within the body
+#: Upper bound on a declared body length. Real frames are a few KB
+#: (task) to tens of KB (result); the cap exists so a corrupted or
+#: fuzzed length prefix cannot make the receiver allocate gigabytes.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class FrameError(SimulationError):
+    """A frame failed to decode.
+
+    ``fatal`` distinguishes the two tiers described in the module
+    docstring: ``False`` means this frame is lost but the stream is
+    still aligned (drop it, keep reading); ``True`` means the
+    connection's byte stream is unusable and must be closed.
+    """
+
+    def __init__(self, reason: str, fatal: bool = False) -> None:
+        super().__init__(reason)
+        self.fatal = fatal
+
+
+class ConnectionClosed(SimulationError):
+    """The peer closed the connection (EOF on a frame boundary or not)."""
+
+
+def encode_frame(msg: dict, payload=None) -> bytes:
+    """Serialize one message (+ optional pickled payload) to wire bytes."""
+    header = json.dumps(
+        msg, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    blob = b"" if payload is None else pickle.dumps(payload)
+    body = _HLEN.pack(len(header)) + header + blob
+    return _PRE.pack(MAGIC, len(body), zlib.crc32(body)) + body
+
+
+def decode_body(body: bytes):
+    """Decode a checksum-verified frame body to ``(msg, payload)``."""
+    if len(body) < _HLEN.size:
+        raise FrameError("frame body shorter than its header length")
+    (hlen,) = _HLEN.unpack_from(body)
+    if hlen > len(body) - _HLEN.size:
+        raise FrameError(
+            f"frame header length {hlen} exceeds body"
+        )
+    try:
+        msg = json.loads(body[_HLEN.size:_HLEN.size + hlen])
+    except ValueError as exc:
+        raise FrameError(f"frame header is not JSON: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise FrameError("frame header is not a JSON object")
+    blob = body[_HLEN.size + hlen:]
+    if not blob:
+        return msg, None
+    try:
+        return msg, pickle.loads(blob)
+    except Exception as exc:
+        raise FrameError(f"frame payload does not unpickle: {exc}") from exc
+
+
+class FrameBuffer:
+    """Incremental frame decoder over a non-blocking byte stream.
+
+    Feed raw ``recv`` chunks in; :meth:`pop` yields complete frames as
+    ``("frame", msg, payload)``, recoverable decode failures as
+    ``("bad", FrameError)`` (stream still aligned — checksum mismatch,
+    malformed header/payload), or ``None`` when more bytes are needed.
+    Desync — bad magic or an oversize length — raises a fatal
+    :class:`FrameError`; the connection must be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def pop(self):
+        buf = self._buf
+        if len(buf) < _PRE.size:
+            return None
+        magic, length, crc = _PRE.unpack_from(buf)
+        if magic != MAGIC:
+            raise FrameError(
+                f"bad frame magic {bytes(magic)!r} — peer desynced or "
+                "not speaking the fleet protocol", fatal=True,
+            )
+        if length > MAX_FRAME:
+            raise FrameError(
+                f"declared frame length {length} exceeds the "
+                f"{MAX_FRAME}-byte cap — refusing to buffer", fatal=True,
+            )
+        if len(buf) < _PRE.size + length:
+            return None
+        body = bytes(buf[_PRE.size:_PRE.size + length])
+        del buf[:_PRE.size + length]
+        if zlib.crc32(body) != crc:
+            return ("bad", FrameError(
+                f"frame checksum mismatch over {length} bytes"
+            ))
+        try:
+            msg, payload = decode_body(body)
+        except FrameError as err:
+            return ("bad", err)
+        return ("frame", msg, payload)
+
+
+# -- blocking helpers (worker side) ------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < n:
+        data = sock.recv(n - len(chunks))
+        if not data:
+            raise ConnectionClosed(
+                f"connection closed after {len(chunks)}/{n} bytes"
+            )
+        chunks += data
+    return bytes(chunks)
+
+
+def read_frame(sock: socket.socket):
+    """Blocking read of one frame; returns ``(msg, payload)``.
+
+    Raises :class:`ConnectionClosed` on EOF, :class:`FrameError`
+    (fatal for desync/oversize, recoverable for checksum/decode) and
+    lets socket timeouts propagate so callers can interleave
+    heartbeats.
+    """
+    pre = _recv_exact(sock, _PRE.size)
+    magic, length, crc = _PRE.unpack(pre)
+    if magic != MAGIC:
+        raise FrameError(
+            f"bad frame magic {magic!r} — peer desynced", fatal=True
+        )
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME}-byte cap", fatal=True,
+        )
+    body = _recv_exact(sock, length)
+    if zlib.crc32(body) != crc:
+        raise FrameError(f"frame checksum mismatch over {length} bytes")
+    return decode_body(body)
+
+
+def send_frame(sock: socket.socket, msg: dict, payload=None) -> None:
+    """Blocking send of one frame."""
+    sock.sendall(encode_frame(msg, payload))
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (for tests/CLI loopback fleets)."""
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+# -- deterministic transport chaos -------------------------------------------
+
+
+def corrupt_frame(frame: bytes, offset: int, xor_mask: int) -> bytes:
+    """Flip bits in one *body* byte, leaving the length prefix intact.
+
+    Corrupting past the preamble is what keeps the fault recoverable:
+    the receiver still knows where the frame ends, fails the checksum,
+    and stays aligned for the next frame.
+    """
+    start = _PRE.size
+    if len(frame) <= start:
+        return frame
+    pos = start + (offset % (len(frame) - start))
+    flipped = bytearray(frame)
+    flipped[pos] ^= (xor_mask & 0xFF) or 0x01
+    return bytes(flipped)
+
+
+class NetGate:
+    """Applies a plan's ``net_*`` specs to outgoing frames, one side.
+
+    The gate wraps every framed send on its side of the transport —
+    ``"task"`` on the server, ``"result"`` on the workers (see
+    :data:`~repro.faults.plan.NET_FAULT_SIDES`). A spec fires on the
+    first ``persist`` *transmissions* of a frame carrying its window
+    index, counted per spec across retries and retransmissions — the
+    transport analogue of the injector's attempt counting, and equally
+    deterministic: same plan, same sharding of sends, same chaos.
+
+    :meth:`send` returns what actually happened so the caller can keep
+    its bookkeeping honest: ``"sent"`` (possibly delayed/duplicated),
+    ``"dropped"`` (nothing hit the wire), ``"truncated"`` (a partial
+    frame went out — the caller must close the connection to model the
+    mid-frame disconnect) or ``"disconnect"`` (the full frame went out
+    but the connection must now be closed).
+    """
+
+    def __init__(self, specs, side: str) -> None:
+        self.side = side
+        self.specs = tuple(
+            s for s in specs
+            if s.kind in NET_FAULTS and NET_FAULT_SIDES[s.kind] == side
+        )
+        #: Lifetime tally of fired kinds (merged into ``resilience``).
+        self.counters = {}
+        #: Optional callable(msg) applied after fault matching but
+        #: before the frame is encoded — fleet workers refresh their
+        #: cumulative fired-counter report here so a fault firing on
+        #: this very frame is already reflected in it.
+        self.stamp = None
+        self._fired = {}  # spec -> transmissions it has struck
+
+    #: Frame types eligible for injection, per side. Control frames
+    #: (hello/spec/ready/hb/fin) are never faulted: chaos targets the
+    #: at-least-once task/result path, not session establishment.
+    _ELIGIBLE = {
+        "task": ("task",),
+        "result": ("result", "retry"),
+    }
+
+    def _matching(self, msg: dict):
+        if msg.get("type") not in self._ELIGIBLE[self.side]:
+            return ()
+        index = msg.get("index")
+        fired = []
+        for spec in self.specs:
+            if spec.window != index:
+                continue
+            struck = self._fired.get(spec, 0)
+            if struck >= spec.persist:
+                continue
+            self._fired[spec] = struck + 1
+            self.counters[spec.kind] = (
+                self.counters.get(spec.kind, 0) + 1
+            )
+            fired.append(spec)
+        return fired
+
+    def send(self, sock: socket.socket, msg: dict, payload=None) -> str:
+        fired = self._matching(msg)
+        if self.stamp is not None:
+            self.stamp(msg)
+        if not fired:
+            send_frame(sock, msg, payload)
+            return "sent"
+        frame = encode_frame(msg, payload)
+        if any(s.kind == "net_drop" for s in fired):
+            return "dropped"
+        copies = 1
+        slow = None
+        verdict = "sent"
+        for spec in fired:
+            if spec.kind == "net_delay":
+                time.sleep(spec.delay_ms / 1000.0)
+            elif spec.kind == "net_corrupt":
+                frame = corrupt_frame(frame, spec.offset, spec.xor_mask)
+            elif spec.kind == "net_truncate":
+                keep = spec.keep or len(frame) // 2
+                sock.sendall(frame[:max(1, min(keep, len(frame) - 1))])
+                return "truncated"
+            elif spec.kind == "net_dup":
+                copies = 2
+            elif spec.kind == "net_disconnect":
+                verdict = "disconnect"
+            elif spec.kind == "net_slow":
+                slow = spec
+        for _ in range(copies):
+            if slow is not None:
+                self._dribble(sock, frame, slow)
+            else:
+                sock.sendall(frame)
+        return verdict
+
+    @staticmethod
+    def _dribble(sock: socket.socket, frame: bytes, spec) -> None:
+        """Slow-loris the frame out in crumbs over ~``delay_ms``."""
+        step = max(1, spec.chunk_bytes)
+        chunks = range(0, len(frame), step)
+        pause = (spec.delay_ms / 1000.0) / max(1, len(chunks))
+        for start in chunks:
+            sock.sendall(frame[start:start + step])
+            time.sleep(min(pause, 0.05))

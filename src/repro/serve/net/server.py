@@ -1,0 +1,979 @@
+"""The fleet host: shard one window stream over TCP workers.
+
+:class:`FleetServer` is the distributed sibling of
+:class:`~repro.serve.PoolScheduler`: same picklable worker spec, same
+``(index, start, samples, attempt, force_reference)`` task protocol,
+same order-stable merge into a :class:`~repro.serve.StreamReport` — so
+a stream served by a fleet is bit-identical to the sequential
+scheduler, whatever the worker count, and a
+:class:`~repro.serve.StreamCheckpoint` written by any executor resumes
+under any other.
+
+The server is a single-threaded :mod:`selectors` event loop (plus the
+same feeder thread the pool uses for window materialization). Remote
+:class:`~repro.serve.net.FleetWorker` processes dial in, register with
+``hello``, receive the worker spec over the wire, and serve attempts;
+the server owns *all* scheduling state, so any worker can vanish at any
+moment without a window being lost.
+
+Robustness is layered, and every knob defaults off — with no fault
+plan, no deadlines and no heartbeat the fleet is exactly a remote pool
+that fails fast on the first worker error:
+
+* **Per-task deadlines** (``task_deadline``) bound how long a
+  dispatched window may stay unresolved; an expired task spends one
+  rung of the retry ladder and is re-dispatched with exponential
+  backoff (``retry_backoff`` doubling up to ``backoff_cap``). Delivery
+  is thus at-least-once; it is *safe* because results are deduplicated
+  idempotently by window index — a late duplicate is bookkept as
+  ``late_results`` and dropped, exactly like the pool's race between a
+  slow worker and its own requeue.
+* **Heartbeats** (``heartbeat_timeout``) retire workers that go silent
+  — the read side of the workers' ``heartbeat_interval`` beats.
+* **Reconnection** — a worker that lost its connection re-registers
+  under the same name; its platform survives, the spec is only
+  re-shipped when the digest changed (e.g. a different job), and the
+  reconnect is tallied per worker in the checkpoint's namespaces.
+* **Circuit breaker** (``breaker_threshold``) — strikes accumulate per
+  worker (deadline misses, checksum failures, desyncs, disconnects);
+  past the threshold the worker is benched for the session and told so.
+* **Degradation ladder** (``local_fallback``) — no registration within
+  ``register_timeout`` falls back to the in-process
+  :class:`~repro.serve.PoolScheduler`; losing every worker mid-run
+  serves the remaining windows on a local
+  :class:`~repro.serve.StreamScheduler`. Both rungs produce the same
+  bit-identical report, just slower.
+
+Chaos for all of the above comes from the ``net_*`` family of
+:mod:`repro.faults`, injected at the framing layer by
+:class:`~repro.serve.net.framing.NetGate` — task-side kinds on the
+server's own sends, result-side kinds shipped to the workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing.util
+import pickle
+import queue
+import selectors
+import socket
+import threading
+import time
+import traceback
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.obs.bus import get_bus
+from repro.obs.instruments import (
+    record_failed,
+    record_net_event,
+    record_net_frames,
+    record_net_retry,
+    record_net_state,
+    record_progress,
+    record_resilience,
+    record_window,
+)
+from repro.serve.checkpoint import (
+    CheckpointState,
+    finalize_session,
+    flush_session,
+    resume_session,
+    stream_fingerprint,
+)
+from repro.serve.net.framing import (
+    FrameBuffer,
+    FrameError,
+    NetGate,
+    send_frame,
+)
+from repro.serve.pool import PoolScheduler, PoolWorkerError
+from repro.serve.report import FailedWindow, StreamReport, merge_counts
+from repro.serve.scheduler import StreamScheduler
+
+#: Event-loop tick (select timeout): liveness scans and dispatch pacing.
+_TICK_SECONDS = 0.05
+#: How long an accepted connection may stay silent before ``hello``.
+_HELLO_TIMEOUT = 5.0
+#: Blocking-send timeout on accepted sockets (results are read
+#: non-blocking via the selector; only outbound frames can block).
+_CONN_TIMEOUT = 5.0
+
+
+class _Conn:
+    """One accepted connection and its scheduling ledger."""
+
+    __slots__ = (
+        "sock", "addr", "buffer", "name", "ready", "engine",
+        "in_flight", "last_seen", "connected_at",
+    )
+
+    def __init__(self, sock, addr) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.buffer = FrameBuffer()
+        self.name = None
+        self.ready = False
+        self.engine = None
+        #: window index -> (task tuple, deadline monotonic or None)
+        self.in_flight = {}
+        self.last_seen = time.monotonic()
+        self.connected_at = self.last_seen
+
+
+class FleetServer:
+    """Serve window streams over registered remote fleet workers.
+
+    Platform/job parameters (``config``/``params``/``pipeline``/
+    ``energy_model``/``double_buffer``/``runner_factory``/``warm``) mean
+    exactly what they mean on :class:`~repro.serve.PoolScheduler`; the
+    robustness knobs are documented in the module docstring and
+    docs/distributed.md. ``port=0`` binds an OS-assigned port —
+    :meth:`bind` returns the actual address so workers (and tests) can
+    be pointed at it before :meth:`run`. ``stop_after`` ends the
+    session early after that many windows were accepted — the hook the
+    restart smoke test uses to model a server crash at a deterministic
+    point; rerunning with the same checkpoint finishes the stream.
+    """
+
+    def __init__(self, config: str = "cpu_vwr2a",
+                 host: str = "127.0.0.1", port: int = 0,
+                 params=None, pipeline=None, energy_model=None,
+                 double_buffer: bool = True, runner_factory=None,
+                 warm: bool = False, prefetch: int = 2,
+                 fault_plan=None, max_retries: int = 0,
+                 reference_fallback: bool = True,
+                 task_deadline: float = None,
+                 retry_backoff: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 heartbeat_timeout: float = None,
+                 register_timeout: float = 10.0,
+                 breaker_threshold: int = None,
+                 local_fallback: bool = True,
+                 local_workers: int = 2,
+                 respawn_limit: int = 0,
+                 stop_after: int = None) -> None:
+        if prefetch < 1:
+            raise ConfigurationError(
+                f"prefetch must be at least 1 window, got {prefetch}"
+            )
+        if task_deadline is not None and task_deadline <= 0:
+            raise ConfigurationError(
+                "task_deadline must be positive seconds (or None to "
+                f"disable), got {task_deadline}"
+            )
+        if retry_backoff < 0 or backoff_cap < retry_backoff:
+            raise ConfigurationError(
+                "retry backoff must satisfy 0 <= retry_backoff <= "
+                f"backoff_cap, got {retry_backoff}/{backoff_cap}"
+            )
+        if register_timeout <= 0:
+            raise ConfigurationError(
+                "register_timeout must be positive seconds, got "
+                f"{register_timeout}"
+            )
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ConfigurationError(
+                "breaker_threshold must be >= 1 strike (or None to "
+                f"disable the circuit breaker), got {breaker_threshold}"
+            )
+        if stop_after is not None and stop_after < 1:
+            raise ConfigurationError(
+                f"stop_after must be >= 1 window, got {stop_after}"
+            )
+        if fault_plan is not None and task_deadline is None and any(
+            spec.kind in ("net_drop", "net_corrupt")
+            for spec in fault_plan.specs
+        ):
+            raise ConfigurationError(
+                "the fault plan schedules frame-loss faults (net_drop/"
+                "net_corrupt); pass task_deadline so lost windows are "
+                "detected and re-served (otherwise the stream never "
+                "finishes)"
+            )
+        self.fault_plan = fault_plan
+        platform_plan = (
+            fault_plan.without_net() if fault_plan is not None else None
+        )
+        if platform_plan is not None and not platform_plan.specs:
+            platform_plan = None
+        # The local pool doubles as parameter resolution (config/
+        # pipeline defaults, spec validation) and as the first rung of
+        # the degradation ladder.
+        self._local = PoolScheduler(
+            config=config, workers=local_workers, params=params,
+            pipeline=pipeline, energy_model=energy_model,
+            double_buffer=double_buffer, runner_factory=runner_factory,
+            warm=warm, prefetch=prefetch, fault_plan=platform_plan,
+            max_retries=max_retries,
+            reference_fallback=reference_fallback,
+            respawn_limit=respawn_limit,
+            heartbeat_timeout=heartbeat_timeout,
+        )
+        self._platform_plan = platform_plan
+        self.config = self._local.config
+        self.pipeline = self._local.pipeline
+        self.energy_model = self._local.energy_model
+        self.double_buffer = double_buffer
+        self.host = host
+        self.port = port
+        self.prefetch = prefetch
+        self.max_retries = max_retries
+        self.reference_fallback = reference_fallback
+        self.task_deadline = task_deadline
+        self.retry_backoff = retry_backoff
+        self.backoff_cap = backoff_cap
+        self.heartbeat_timeout = heartbeat_timeout
+        self.register_timeout = register_timeout
+        self.breaker_threshold = breaker_threshold
+        self.local_fallback = local_fallback
+        self.stop_after = stop_after
+        self._listener = None
+        self._resilient = (
+            fault_plan is not None or task_deadline is not None
+            or heartbeat_timeout is not None
+            or breaker_threshold is not None
+        )
+
+    @property
+    def engine(self) -> str:
+        return self._local.engine
+
+    # -- listener lifecycle --------------------------------------------------
+
+    def bind(self):
+        """Bind and listen; returns ``(host, port)``. Idempotent."""
+        if self._listener is None:
+            listener = socket.socket(
+                socket.AF_INET, socket.SOCK_STREAM
+            )
+            listener.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            )
+            listener.bind((self.host, self.port))
+            listener.listen(64)
+            listener.setblocking(False)
+            self.port = listener.getsockname()[1]
+            self._listener = listener
+            # Fork-spawned worker processes inherit this fd; without
+            # closing it there, the port stays bound after our close()
+            # for as long as any worker lives — and a restarted server
+            # cannot rebind it.
+            multiprocessing.util.register_after_fork(
+                self, FleetServer.close
+            )
+        return (self.host, self.port)
+
+    def close(self) -> None:
+        """Close the listener (accepted connections die with the run)."""
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            finally:
+                self._listener = None
+
+    # -- serving -------------------------------------------------------------
+
+    def run(self, stream, checkpoint=None) -> StreamReport:
+        """Serve ``stream`` over the fleet; returns the merged report.
+
+        Same contract as :meth:`PoolScheduler.run` — checkpoint resume,
+        bit-identical merge, :class:`PoolWorkerError` on a genuine
+        worker failure — plus the degradation ladder when no workers
+        are available.
+        """
+        self.bind()
+        try:
+            if checkpoint is not None:
+                checkpoint, state = resume_session(
+                    checkpoint, stream_fingerprint(
+                        stream, self.config, self.engine,
+                        self.double_buffer, pipeline=self.pipeline,
+                        energy_model=self.energy_model,
+                    )
+                )
+            else:
+                state = CheckpointState(
+                    fingerprint={"n_windows": stream.n_windows}
+                )
+            wall_base = state.wall_seconds
+            wall_start = time.perf_counter()
+            served = not state.complete
+            stopped_early = False
+            if served:
+                verdict, engine = self._serve_remaining(
+                    stream, state, checkpoint, wall_base, wall_start
+                )
+                if verdict == "degrade":
+                    # Nothing registered at all: the whole session is
+                    # the local pool's. It re-reads the checkpoint
+                    # itself, so the in-memory state is simply dropped.
+                    self.close()
+                    report = self._local.run(stream, checkpoint)
+                    merge_counts(
+                        report.resilience, {"local_degradations": 1}
+                    )
+                    bus = get_bus()
+                    if bus is not None:
+                        record_resilience(
+                            bus, {"local_degradations": 1}
+                        )
+                    return report
+                stopped_early = verdict == "stopped"
+            else:
+                engine = state.fingerprint.get("engine") or self.engine
+            if not stopped_early and not state.complete:
+                raise SimulationError(
+                    f"fleet finished with {state.n_done} served and "
+                    f"{state.n_failed} quarantined of "
+                    f"{stream.n_windows} windows — sharding bug"
+                )
+            report = StreamReport(
+                config=self.config,
+                engine=engine,
+                window=getattr(stream, "window", 0),
+                hop=getattr(stream, "hop", 0),
+                double_buffered=self.double_buffer,
+            )
+            return finalize_session(
+                report, state, checkpoint, wall_base, wall_start,
+                served=served,
+            )
+        finally:
+            self.close()
+
+    # -- the event loop ------------------------------------------------------
+
+    def _spec_frame(self, stream):
+        """The spec payload and its digest (pinned in ``hello``)."""
+        payload = (
+            self._local._spec(stream),
+            self.fault_plan.net_specs("result")
+            if self.fault_plan is not None else (),
+        )
+        digest = hashlib.sha256(pickle.dumps(payload)).hexdigest()[:16]
+        return payload, digest
+
+    def _serve_remaining(self, stream, state, checkpoint,
+                         wall_base, wall_start):
+        """Serve every unaccounted window; returns ``(verdict, engine)``.
+
+        ``verdict`` is ``"served"`` (stream fully accounted),
+        ``"stopped"`` (``stop_after`` ended the session early) or
+        ``"degrade"`` (no worker ever registered — the caller runs the
+        local pool instead). Worker errors raise
+        :class:`PoolWorkerError` exactly like the pool, flushing the
+        checkpoint first.
+        """
+        total = stream.n_windows
+        spec_payload, spec_digest = self._spec_frame(stream)
+        task_gate = NetGate(
+            self.fault_plan.specs if self.fault_plan is not None
+            else (), side="task",
+        )
+
+        abort = threading.Event()
+        feed_done = threading.Event()
+        feed_failure = []
+        ready_q = queue.Queue(maxsize=32)
+
+        def feed():
+            try:
+                for window in stream:
+                    if window.index in state.results:
+                        continue
+                    item = (window.index, window.start, window.samples)
+                    while not abort.is_set():
+                        try:
+                            ready_q.put(item, timeout=_TICK_SECONDS)
+                            break
+                        except queue.Full:
+                            continue
+                    if abort.is_set():
+                        break
+            except Exception:
+                feed_failure.append(traceback.format_exc())
+                abort.set()
+            finally:
+                feed_done.set()
+
+        feeder = threading.Thread(target=feed, daemon=True)
+        feeder.start()
+
+        sel = selectors.DefaultSelector()
+        sel.register(self._listener, selectors.EVENT_READ, "listen")
+        conns = {}       # fileno -> _Conn (every accepted connection)
+        workers = {}     # name -> _Conn (registered)
+        # Names ever registered — seeded from the checkpoint namespaces
+        # so a worker re-registering after a *server* restart counts as
+        # the reconnect it is from the worker's point of view.
+        known = set(state.namespaces)
+        strikes = {}     # name -> circuit-breaker strikes
+        benched = set()  # names quarantined by the breaker
+        engines = set()
+        requeue = []     # [not_before, task] retry entries
+        fail_kinds = {}  # index -> fault kinds seen so far
+        failure = None
+        ever_ready = False
+        accepted = 0     # results accepted this session (stop_after)
+        now = time.monotonic()
+        reg_deadline = now + self.register_timeout
+        last_alive = now
+        verdict = "served"
+
+        def tally(counts: dict) -> None:
+            merge_counts(state.resilience, counts)
+            bus = get_bus()
+            if bus is not None:
+                record_resilience(bus, counts)
+
+        def mark() -> None:
+            if checkpoint is not None:
+                state.wall_seconds = (
+                    wall_base + time.perf_counter() - wall_start
+                )
+                checkpoint.mark(state)
+
+        def namespace(name: str) -> dict:
+            return state.namespaces.setdefault(name, {})
+
+        def send(conn, msg, payload=None, gated=False) -> str:
+            try:
+                if gated and task_gate.specs:
+                    action = task_gate.send(conn.sock, msg, payload)
+                else:
+                    send_frame(conn.sock, msg, payload)
+                    action = "sent"
+            except (OSError, socket.timeout):
+                return "peer_gone"
+            bus = get_bus()
+            if bus is not None and action != "dropped":
+                record_net_frames(bus, "out")
+            return action
+
+        def take_in_flight(index: int):
+            for conn in workers.values():
+                entry = conn.in_flight.pop(index, None)
+                if entry is not None:
+                    return entry
+            return None
+
+        def quarantine_window(index, start, attempts, kinds, why):
+            state.failed[index] = FailedWindow(
+                index=index, start=start, attempts=attempts,
+                kinds=tuple(dict.fromkeys(kinds)), detail=why,
+            )
+            tally({"quarantined": 1})
+            bus = get_bus()
+            if bus is not None:
+                record_failed(bus)
+            mark()
+
+        def next_attempt(task, kinds, why, reason) -> None:
+            """One spoiled attempt down the ladder, with backoff."""
+            index, start, samples, attempt, force_reference = task
+            fail_kinds.setdefault(index, []).extend(kinds)
+            bus = get_bus()
+            if attempt < self.max_retries:
+                tally({"retries": 1})
+                if bus is not None:
+                    record_net_retry(bus, reason)
+                requeue.append([
+                    time.monotonic() + self._backoff(attempt),
+                    (index, start, samples, attempt + 1, False),
+                ])
+            elif self.reference_fallback and not force_reference:
+                tally({"retries": 1})
+                if bus is not None:
+                    record_net_retry(bus, reason)
+                requeue.append([
+                    time.monotonic() + self._backoff(attempt),
+                    (index, start, samples, attempt + 1, True),
+                ])
+            else:
+                quarantine_window(
+                    index, start, attempt + 1,
+                    fail_kinds.pop(index, list(kinds)), why,
+                )
+
+        def strike(conn, n: int = 1) -> None:
+            if conn.name is None or self.breaker_threshold is None:
+                return
+            strikes[conn.name] = strikes.get(conn.name, 0) + n
+            if (
+                strikes[conn.name] >= self.breaker_threshold
+                and conn.name not in benched
+            ):
+                benched.add(conn.name)
+                tally({"worker_quarantines": 1})
+                bus = get_bus()
+                if bus is not None:
+                    record_net_event(bus, "worker_quarantine")
+                send(conn, {"type": "quarantine"})
+                retire_conn(conn, "quarantine")
+
+        def close_conn(conn) -> None:
+            conns.pop(conn.sock.fileno(), None)
+            try:
+                sel.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+
+        def retire_conn(conn, reason: str) -> None:
+            """Drop one connection; spend a rung per in-flight window.
+
+            Every in-flight task rides the ladder (not just the head,
+            as the pool does): over a lossy transport the server cannot
+            know which of them the worker half-served, and unbounded
+            free requeues would let a flapping link retry forever.
+            """
+            if conn.name is not None and workers.get(conn.name) is conn:
+                del workers[conn.name]
+            close_conn(conn)
+            pending = list(conn.in_flight.values())
+            conn.in_flight.clear()
+            for task, _deadline in pending:
+                if task[0] in state.results or task[0] in state.failed:
+                    continue
+                next_attempt(
+                    task, (f"net_{reason}",),
+                    f"connection to worker {conn.name!r} lost "
+                    f"({reason}) with the window in flight",
+                    reason=reason,
+                )
+
+        def merge_net_fired(name: str, fired) -> None:
+            """Fold a worker's cumulative gate counters into resilience.
+
+            Deltas are taken against the per-worker cumulative stored
+            in the checkpoint namespaces, so reconnects and server
+            restarts never double-count an injection.
+            """
+            if not fired:
+                return
+            stored = namespace(name).setdefault("net_fired", {})
+            delta = {}
+            for kind, count in fired.items():
+                seen = stored.get(kind, 0)
+                if count < seen:
+                    seen = 0  # the worker itself restarted
+                if count > seen:
+                    delta[f"fault:{kind}"] = count - seen
+                stored[kind] = count
+            if delta:
+                tally(delta)
+
+        def accept_result(conn, msg, payload) -> None:
+            nonlocal accepted
+            index = msg["index"]
+            take_in_flight(index)
+            result, stats_delta = payload
+            if index in state.results:
+                if not self._resilient:
+                    raise SimulationError(
+                        f"window {index} was served twice — "
+                        "sharding bug"
+                    )
+                tally({"late_results": 1})
+                return
+            if index in state.failed:
+                del state.failed[index]
+                tally({"quarantine_rescues": 1})
+            fail_kinds.pop(index, None)
+            state.results[index] = result
+            merge_counts(state.store_stats, stats_delta)
+            namespace(conn.name)["served"] = (
+                namespace(conn.name).get("served", 0) + 1
+            )
+            accepted += 1
+            bus = get_bus()
+            if bus is not None:
+                record_window(bus, result, stats_delta, worker=conn.name)
+            if msg.get("force_reference"):
+                tally({"reference_recoveries": 1})
+            mark()
+
+        def on_frame(conn, msg, payload) -> None:
+            nonlocal failure, ever_ready
+            conn.last_seen = time.monotonic()
+            kind = msg.get("type")
+            if kind != "hello" and conn.name is None:
+                # Data frames from a peer that never registered: a
+                # protocol violation, not a scheduling event.
+                strike(conn)
+                return
+            if kind == "hello":
+                name = msg.get("name") or f"anon-{conn.sock.fileno()}"
+                if name in benched:
+                    send(conn, {"type": "quarantine"})
+                    close_conn(conn)
+                    return
+                stale = workers.get(name)
+                if stale is not None and stale is not conn:
+                    # The worker reconnected before its old connection
+                    # was detected dead: retire the half-open husk.
+                    retire_conn(stale, "disconnect")
+                conn.name = name
+                workers[name] = conn
+                if name in known:
+                    tally({"net_reconnects": 1})
+                    namespace(name)["reconnects"] = (
+                        namespace(name).get("reconnects", 0) + 1
+                    )
+                    bus = get_bus()
+                    if bus is not None:
+                        record_net_event(bus, "reconnect")
+                known.add(name)
+                namespace(name)  # registration is durable bookkeeping
+                if msg.get("spec_digest") == spec_digest:
+                    # Warm reconnect: platform already built.
+                    conn.ready = True
+                    conn.engine = msg.get("engine") or None
+                    if conn.engine:
+                        engines.add(conn.engine)
+                else:
+                    send(conn, {
+                        "type": "spec", "digest": spec_digest,
+                    }, payload=spec_payload)
+            elif kind == "ready":
+                conn.ready = True
+                conn.engine = msg.get("engine") or None
+                if conn.engine:
+                    engines.add(conn.engine)
+            elif kind == "result":
+                merge_net_fired(conn.name, msg.get("net_fired"))
+                accept_result(conn, msg, payload)
+            elif kind == "retry":
+                merge_net_fired(conn.name, msg.get("net_fired"))
+                kinds = tuple(msg.get("kinds") or ("unknown",))
+                tally({f"fault:{k}": 1 for k in kinds})
+                entry = conn.in_flight.pop(msg["index"], None)
+                if entry is None:
+                    entry = take_in_flight(msg["index"])
+                if entry is None:
+                    tally({"late_results": 1})
+                    return
+                next_attempt(
+                    entry[0], kinds,
+                    "faults fired on every attempt "
+                    f"(last: {', '.join(kinds)})",
+                    reason="fault",
+                )
+            elif kind == "err":
+                if failure is None:
+                    failure = (conn.name, msg.get("index"), payload)
+                abort.set()
+            elif kind == "hb":
+                merge_net_fired(conn.name, msg.get("net_fired"))
+            # Unknown frame types are ignored: wire compatibility.
+
+        def read_conn(conn) -> None:
+            try:
+                data = conn.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                tally({"net_disconnects": 1})
+                retire_conn(conn, "disconnect")
+                return
+            if not data:
+                if conn.name is not None:
+                    tally({"net_disconnects": 1})
+                retire_conn(conn, "disconnect")
+                return
+            conn.buffer.feed(data)
+            bus = get_bus()
+            while True:
+                try:
+                    item = conn.buffer.pop()
+                except FrameError:
+                    # Desynced or hostile byte stream: the connection
+                    # is unusable. In-flight windows ride the ladder;
+                    # a real worker will reconnect.
+                    tally({"net_desyncs": 1})
+                    strike(conn)
+                    retire_conn(conn, "desync")
+                    return
+                if item is None:
+                    return
+                if item[0] == "bad":
+                    tally({"net_checksum_failures": 1})
+                    if bus is not None:
+                        record_net_event(bus, "checksum_failure")
+                    strike(conn)
+                    continue
+                if bus is not None:
+                    record_net_frames(bus, "in")
+                try:
+                    on_frame(conn, item[1], item[2])
+                except (KeyError, TypeError, ValueError, IndexError):
+                    # A structurally valid frame whose fields violate
+                    # the protocol (hostile or byte-lucky corruption):
+                    # never the server's problem to crash over.
+                    tally({"net_protocol_errors": 1})
+                    strike(conn)
+                if conn.sock.fileno() < 0:
+                    return  # the frame handler closed the connection
+
+        def dispatch() -> None:
+            while True:
+                candidates = [
+                    c for c in workers.values()
+                    if c.ready and len(c.in_flight) < self.prefetch
+                ]
+                if not candidates:
+                    return
+                now = time.monotonic()
+                task = None
+                for i, (not_before, queued) in enumerate(requeue):
+                    if (
+                        queued[0] in state.results
+                        or queued[0] in state.failed
+                    ):
+                        del requeue[i]
+                        break
+                    if not_before <= now:
+                        task = queued
+                        del requeue[i]
+                        break
+                else:
+                    try:
+                        index, start, samples = ready_q.get_nowait()
+                    except queue.Empty:
+                        return
+                    if index in state.results:
+                        continue
+                    task = (index, start, samples, 0, False)
+                if task is None:
+                    continue  # a done requeue entry was pruned
+                conn = min(
+                    candidates, key=lambda c: len(c.in_flight)
+                )
+                deadline = (
+                    now + self.task_deadline
+                    if self.task_deadline is not None else None
+                )
+                conn.in_flight[task[0]] = (task, deadline)
+                action = send(conn, {
+                    "type": "task",
+                    "index": task[0],
+                    "attempt": task[3],
+                    "force_reference": task[4],
+                }, payload=(task[1], task[2]), gated=True)
+                if action in ("disconnect", "peer_gone"):
+                    tally({"net_disconnects": 1})
+                    retire_conn(conn, "disconnect")
+                # "dropped" frames wait for their deadline; "sent" and
+                # duplicated/delayed frames need nothing more.
+
+        def scan(now: float) -> None:
+            for conn in list(conns.values()):
+                if (
+                    conn.name is None
+                    and now - conn.connected_at > _HELLO_TIMEOUT
+                ):
+                    close_conn(conn)  # silent stranger
+            if self.heartbeat_timeout is not None:
+                for conn in list(workers.values()):
+                    if now - conn.last_seen > self.heartbeat_timeout:
+                        tally({"net_heartbeat_misses": 1})
+                        bus = get_bus()
+                        if bus is not None:
+                            record_net_event(bus, "heartbeat_miss")
+                        strike(conn)
+                        if conn.name in workers:
+                            retire_conn(conn, "heartbeat")
+            if self.task_deadline is not None:
+                for conn in list(workers.values()):
+                    for index, (task, deadline) in list(
+                        conn.in_flight.items()
+                    ):
+                        if deadline is not None and now > deadline:
+                            conn.in_flight.pop(index, None)
+                            tally({"net_deadline_misses": 1})
+                            strike(conn)
+                            next_attempt(
+                                task, ("net_deadline",),
+                                f"window {index} blew its "
+                                f"{self.task_deadline}s deadline on "
+                                f"worker {conn.name!r}",
+                                reason="deadline",
+                            )
+
+        try:
+            while failure is None:
+                if state.n_done + state.n_failed >= total:
+                    break
+                if (
+                    self.stop_after is not None
+                    and accepted >= self.stop_after
+                ):
+                    verdict = "stopped"
+                    break
+                for key, _events in sel.select(timeout=_TICK_SECONDS):
+                    if key.data == "listen":
+                        try:
+                            sock, addr = self._listener.accept()
+                        except OSError:
+                            continue
+                        sock.settimeout(_CONN_TIMEOUT)
+                        conn = _Conn(sock, addr)
+                        conns[sock.fileno()] = conn
+                        sel.register(
+                            sock, selectors.EVENT_READ, conn
+                        )
+                    else:
+                        read_conn(key.data)
+                if failure is not None or feed_failure:
+                    break
+                now = time.monotonic()
+                scan(now)
+                alive = [c for c in workers.values() if c.ready]
+                if alive:
+                    ever_ready = True
+                    last_alive = now
+                elif not ever_ready and now > reg_deadline:
+                    if self.local_fallback:
+                        verdict = "degrade"
+                        break
+                    raise ConfigurationError(
+                        "no fleet workers registered within "
+                        f"{self.register_timeout}s and local_fallback "
+                        "is off"
+                    )
+                elif ever_ready and now - last_alive > max(
+                    self.register_timeout,
+                    self.heartbeat_timeout or 0.0,
+                ):
+                    # Lost the whole fleet mid-run: last ladder rung.
+                    if self.local_fallback:
+                        tally({"local_degradations": 1})
+                        self._serve_locally(stream, state, mark)
+                        break
+                    failure = (
+                        "fleet", None,
+                        "every fleet worker was lost mid-stream and "
+                        "local_fallback is off",
+                    )
+                    break
+                dispatch()
+                bus = get_bus()
+                if bus is not None:
+                    record_net_state(bus, len(alive), sum(
+                        len(c.in_flight) for c in workers.values()
+                    ))
+                    record_progress(
+                        bus, state.n_done + state.n_failed, total,
+                        wall_base + time.perf_counter() - wall_start,
+                    )
+                if (
+                    feed_done.is_set() and ready_q.empty()
+                    and not requeue
+                    and not any(
+                        c.in_flight for c in workers.values()
+                    )
+                    and alive
+                    and state.n_done + state.n_failed < total
+                ):
+                    failure = (
+                        "fleet", None,
+                        "fleet stalled with "
+                        f"{state.n_done + state.n_failed}/{total} "
+                        "windows accounted — sharding bug",
+                    )
+            if failure is None and verdict == "served" and \
+                    state.complete:
+                for conn in list(workers.values()):
+                    send(conn, {"type": "fin"})
+        except BaseException:
+            if checkpoint is not None:
+                flush_session(state, checkpoint, wall_base, wall_start)
+            raise
+        finally:
+            abort.set()
+            feeder.join(timeout=10.0)
+            while True:
+                try:
+                    ready_q.get_nowait()
+                except queue.Empty:
+                    break
+            for conn in list(conns.values()):
+                close_conn(conn)
+            sel.close()
+        if failure is None and feed_failure:
+            failure = (
+                "feeder", None,
+                f"trace slicing failed mid-stream:\n{feed_failure[0]}",
+            )
+        if failure is not None:
+            if checkpoint is not None:
+                flush_session(state, checkpoint, wall_base, wall_start)
+            raise PoolWorkerError(*failure)
+        if len(engines) > 1:
+            raise SimulationError(
+                "fleet workers disagree on the engine: "
+                f"{sorted(engines)}"
+            )
+        return verdict, (engines.pop() if engines else self.engine)
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.retry_backoff * (2 ** attempt))
+
+    def _serve_locally(self, stream, state, mark) -> None:
+        """The last degradation rung: finish the stream in-process.
+
+        Mirrors the inner loop of :meth:`StreamScheduler.run` over the
+        already-resumed state — the windows served remotely stay
+        exactly as accepted, the remainder is served on a fresh local
+        platform, and history independence makes the merge
+        bit-identical either way.
+        """
+        scheduler = StreamScheduler(
+            config=self.config,
+            runner=self._local.runner_factory(),
+            pipeline=self.pipeline,
+            double_buffer=self.double_buffer,
+            energy_model=self.energy_model,
+            fault_plan=self._platform_plan,
+            max_retries=self.max_retries,
+            reference_fallback=self.reference_fallback,
+        )
+        log = []
+        scheduler.runner.launch_log = log
+        stats = scheduler.runner.soc.vwr2a.config_mem.stats
+        for window in stream:
+            if (
+                window.index in state.results
+                or window.index in state.failed
+            ):
+                continue
+            before = stats.snapshot()
+            bus = get_bus()
+            resilience_before = (
+                dict(state.resilience) if bus is not None else None
+            )
+            if scheduler._injector is None:
+                result = scheduler.serve_window(window, log)
+            else:
+                result = scheduler._serve_resilient(window, log, state)
+            if result is not None:
+                state.results[window.index] = result
+            stats_delta = stats.since(before)
+            merge_counts(state.store_stats, stats_delta)
+            if bus is not None:
+                if result is not None:
+                    record_window(
+                        bus, result, stats_delta, worker="local"
+                    )
+                else:
+                    record_failed(bus)
+                record_resilience(bus, {
+                    name: count - resilience_before.get(name, 0)
+                    for name, count in state.resilience.items()
+                    if count != resilience_before.get(name, 0)
+                })
+            mark()

@@ -143,7 +143,15 @@ def _default_start_method() -> str:
 
 
 class PoolWorkerError(SimulationError):
-    """A pool worker failed; carries the worker-side traceback."""
+    """A pool worker failed; carries the worker-side traceback.
+
+    Round-trips :mod:`pickle` losslessly (``__reduce__`` rebuilds from
+    the original constructor arguments, not the formatted message), so a
+    remote failure shipped over the fleet transport
+    (:mod:`repro.serve.net`) or across a process boundary re-raises with
+    the same ``worker_id``/``window_index``/``details`` — and the same
+    rendered message — as a local one.
+    """
 
     def __init__(self, worker_id, window_index, details: str) -> None:
         who = (
@@ -163,6 +171,12 @@ class PoolWorkerError(SimulationError):
         self.window_index = window_index
         self.details = details
 
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.worker_id, self.window_index, self.details),
+        )
+
 
 @dataclass(frozen=True)
 class _WorkerSpec:
@@ -177,24 +191,32 @@ class _WorkerSpec:
     fault_plan: object = None
 
 
-def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results,
-                 stop) -> None:
-    """Worker process body: own platform, one serving *attempt* per task.
+class AttemptServer:
+    """Worker-side serving core: one platform, one *attempt* per task.
 
-    Tasks are ``(index, start, samples, attempt, force_reference)``
-    tuples on this worker's private queue; the worker serves exactly one
-    attempt and reports ``"ok"`` (clean result), ``"retry"`` (an
-    injected fault spoiled the attempt — the host owns the retry
-    ladder) or ``"err"`` (a genuine pipeline exception, which aborts the
-    pool as it always did). ``force_reference`` attempts run on a
-    lazily-built reference-engine twin platform. The worker exits when
-    the host sets ``stop``, reporting ``"fin"`` with its engine.
+    The execution body shared by pool worker processes
+    (:func:`_worker_main`) and remote fleet workers
+    (:class:`repro.serve.net.FleetWorker`): it builds a platform from a
+    picklable :class:`_WorkerSpec`, arms the fault injector when the
+    spec ships a plan, lazily builds a reference-engine twin for
+    fallback attempts, and serves one
+    ``(index, start, samples, attempt, force_reference)`` task at a
+    time. :meth:`serve` returns the same verdicts the pool protocol
+    speaks — ``("ok", result, stats_delta, force_reference)`` for a
+    clean attempt, ``("retry", kinds)`` when an injected fault spoiled
+    it — and lets genuine pipeline exceptions propagate so the caller
+    can report them however its transport requires.
+
+    ``process_faults`` arms the suicidal fault kinds (``worker_kill`` /
+    ``worker_hang``); pass ``False`` for in-process workers (tests,
+    thread-hosted fleet workers) where killing the worker would kill
+    the host. ``before_process_fault`` is invoked right before a
+    process fault strikes — pool workers flush their result queue
+    there so SIGKILL cannot tear a half-written message.
     """
-    # Exception (not BaseException) throughout: KeyboardInterrupt /
-    # SystemExit must kill the worker outright — the host's liveness
-    # polling reports dead workers — rather than be wrapped as a
-    # per-window error while the worker keeps draining its queue.
-    try:
+
+    def __init__(self, spec: _WorkerSpec, process_faults: bool = True,
+                 before_process_fault=None) -> None:
         runner = spec.runner_factory()
         scheduler = StreamScheduler(
             config=spec.config,
@@ -207,27 +229,125 @@ def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results,
         runner.launch_log = log
         if spec.warm_samples is not None:
             runner.warm(scheduler.pipeline, spec.warm_samples)
-        stats = runner.soc.vwr2a.config_mem.stats
-        engine = runner.soc.vwr2a.engine
-        injector = None
-        is_fault_failure = None
+        self._spec = spec
+        self._runner = runner
+        self._scheduler = scheduler
+        self._log = log
+        self._stats = runner.soc.vwr2a.config_mem.stats
+        self.engine = runner.soc.vwr2a.engine
+        self._injector = None
+        self._is_fault_failure = None
         if spec.fault_plan is not None:
             from repro.faults.injector import (
                 FaultInjector,
                 is_fault_failure,
             )
 
-            injector = FaultInjector(spec.fault_plan, process_faults=True)
+            self._injector = FaultInjector(
+                spec.fault_plan, process_faults=process_faults
+            )
+            self._injector.before_process_fault = before_process_fault
+            self._is_fault_failure = is_fault_failure
+        self._ref = None  # lazy (scheduler, log, stats) reference twin
 
-            def _flush_results() -> None:
-                # About to die or hang on purpose: push every buffered
-                # result fully onto the wire first, or SIGKILL can tear
-                # a half-written message and wedge the host's reader.
-                results.close()
-                results.join_thread()
+    def _reference(self):
+        if self._ref is None:
+            # Same design point as the primary runner, golden engine.
+            ref_runner = KernelRunner(
+                engine="reference", spec=self._runner.spec
+            )
+            ref_log = []
+            ref_runner.launch_log = ref_log
+            self._ref = (
+                StreamScheduler(
+                    config=self._spec.config,
+                    runner=ref_runner,
+                    pipeline=self._spec.pipeline,
+                    double_buffer=self._spec.double_buffer,
+                    energy_model=self._spec.energy_model,
+                ),
+                ref_log,
+                ref_runner.soc.vwr2a.config_mem.stats,
+            )
+        return self._ref
 
-            injector.before_process_fault = _flush_results
-        ref = None  # lazily-built (scheduler, log, stats) reference twin
+    def serve(self, index: int, start: int, samples,
+              attempt: int, force_reference: bool):
+        """Serve one attempt; returns an ``"ok"`` or ``"retry"`` verdict.
+
+        Raises whatever a genuine (non-fault) pipeline failure raised —
+        including exceptions out of the injector itself.
+        """
+        window = Window(index=index, start=start, samples=samples)
+        serve, serve_log, serve_stats = (
+            self._scheduler, self._log, self._stats
+        )
+        serve_engine = self.engine
+        if force_reference:
+            serve, serve_log, serve_stats = self._reference()
+            serve_engine = "reference"
+        # The result ships the window's launches back to the host; drop
+        # the previous window's entries so the log does not grow for
+        # the worker's whole lifetime (multi-hour streams).
+        del serve_log[:]
+        before = serve_stats.snapshot()
+        fired = ()
+        if self._injector is not None:
+            # worker_kill / worker_hang faults strike in here and never
+            # return — host/server supervision takes over.
+            window = self._injector.begin_attempt(
+                serve.runner, window, attempt, engine=serve_engine
+            )
+        try:
+            result = serve.serve_window(window, serve_log)
+            exc = None
+        except Exception as err:
+            result = None
+            exc = err
+        if self._injector is not None:
+            fired = self._injector.end_attempt()
+        if exc is None and not fired:
+            return (
+                "ok", result, serve_stats.since(before), force_reference
+            )
+        if exc is None or (
+            self._injector is not None
+            and self._is_fault_failure(exc, fired)
+        ):
+            return ("retry", tuple(fired) or (type(exc).__name__,))
+        raise exc
+
+
+def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results,
+                 stop) -> None:
+    """Worker process body: own platform, one serving *attempt* per task.
+
+    Tasks are ``(index, start, samples, attempt, force_reference)``
+    tuples on this worker's private queue; the worker serves exactly one
+    attempt (via the shared :class:`AttemptServer`) and reports ``"ok"``
+    (clean result), ``"retry"`` (an injected fault spoiled the attempt —
+    the host owns the retry ladder) or ``"err"`` (a genuine pipeline
+    exception, which aborts the pool as it always did).
+    ``force_reference`` attempts run on a lazily-built reference-engine
+    twin platform. The worker exits when the host sets ``stop``,
+    reporting ``"fin"`` with its engine.
+    """
+    # Exception (not BaseException) throughout: KeyboardInterrupt /
+    # SystemExit must kill the worker outright — the host's liveness
+    # polling reports dead workers — rather than be wrapped as a
+    # per-window error while the worker keeps draining its queue.
+    try:
+        def _flush_results() -> None:
+            # About to die or hang on purpose: push every buffered
+            # result fully onto the wire first, or SIGKILL can tear
+            # a half-written message and wedge the host's reader.
+            results.close()
+            results.join_thread()
+
+        server = AttemptServer(
+            spec, process_faults=True,
+            before_process_fault=_flush_results,
+        )
     except Exception:
         results.put(("crash", worker_id, traceback.format_exc()))
         return
@@ -237,73 +357,24 @@ def _worker_main(worker_id: int, spec: _WorkerSpec, tasks, results,
         except queue.Empty:
             continue
         index, start, samples, attempt, force_reference = task
-        window = Window(index=index, start=start, samples=samples)
-        serve, serve_log, serve_stats = scheduler, log, stats
-        serve_engine = engine
-        if force_reference:
-            if ref is None:
-                # Same design point as the primary runner, golden engine.
-                ref_runner = KernelRunner(
-                    engine="reference", spec=runner.spec
-                )
-                ref_log = []
-                ref_runner.launch_log = ref_log
-                ref = (
-                    StreamScheduler(
-                        config=spec.config,
-                        runner=ref_runner,
-                        pipeline=spec.pipeline,
-                        double_buffer=spec.double_buffer,
-                        energy_model=spec.energy_model,
-                    ),
-                    ref_log,
-                    ref_runner.soc.vwr2a.config_mem.stats,
-                )
-            serve, serve_log, serve_stats = ref
-            serve_engine = "reference"
-        # The result ships the window's launches to the host; drop the
-        # previous window's entries so the log does not grow for the
-        # worker's whole lifetime (multi-hour streams, many launches).
-        del serve_log[:]
-        before = serve_stats.snapshot()
-        fired = ()
         try:
-            if injector is not None:
-                # worker_kill / worker_hang faults strike in here and
-                # never return — the host's supervision takes over.
-                window = injector.begin_attempt(
-                    serve.runner, window, attempt, engine=serve_engine
-                )
-            try:
-                result = serve.serve_window(window, serve_log)
-                exc = None
-            except Exception as err:
-                result = None
-                exc = err
-            if injector is not None:
-                fired = injector.end_attempt()
+            verdict = server.serve(
+                index, start, samples, attempt, force_reference
+            )
         except Exception:
             results.put((
                 "err", worker_id, index, traceback.format_exc()
             ))
             continue
-        if exc is None and not fired:
-            results.put((
-                "ok", worker_id, result, serve_stats.since(before),
-                force_reference,
-            ))
-        elif exc is None or (
-            injector is not None and is_fault_failure(exc, fired)
-        ):
-            kinds = tuple(fired) or (type(exc).__name__,)
+        if verdict[0] == "ok":
+            _, result, stats_delta, force = verdict
+            results.put(("ok", worker_id, result, stats_delta, force))
+        else:
             results.put((
                 "retry", worker_id, index, attempt, force_reference,
-                kinds,
+                verdict[1],
             ))
-        else:
-            details = "".join(traceback.format_exception(exc))
-            results.put(("err", worker_id, index, details))
-    results.put(("fin", worker_id, engine))
+    results.put(("fin", worker_id, server.engine))
 
 
 class PoolScheduler:

@@ -28,10 +28,17 @@ from __future__ import annotations
 import argparse
 import os
 import re
+import subprocess
 import sys
 import tempfile
 import time
 import traceback
+
+#: Example scripts executed end-to-end alongside the doc blocks. Most
+#: examples double as fenced blocks somewhere in docs/; the ones listed
+#: here have no doc twin (multi-process orchestration does not fit a
+#: cumulative doc namespace) and would otherwise rot unexecuted.
+EXAMPLE_SCRIPTS = ("examples/fleet_serving.py",)
 
 #: ```python ...\n<body>``` — the info string after "python" carries
 #: flags (currently just "fragment"). The fence may be indented (a
@@ -105,6 +112,31 @@ def run_file(path: str, verbose: bool = True) -> list:
     return failures
 
 
+def run_example(root: str, rel: str, verbose: bool = True) -> list:
+    """Execute one example script in a subprocess; failures as in
+    :func:`run_file`."""
+    script = os.path.join(root, rel)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(root, "src"),
+                    env.get("PYTHONPATH", "")) if p
+    )
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="docs-as-tests-") as scratch:
+        proc = subprocess.run(
+            [sys.executable, script], cwd=scratch, env=env,
+            capture_output=True, text=True, timeout=600,
+        )
+    if proc.returncode != 0:
+        if verbose:
+            print(f"  FAIL {rel}")
+        return [(rel, f"exit code {proc.returncode}\n{proc.stdout}"
+                      f"\n{proc.stderr}")]
+    if verbose:
+        print(f"  ok   {rel} (ran in {time.perf_counter() - start:.2f}s)")
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Smoke-execute fenced python blocks in docs/ + README."
@@ -133,6 +165,14 @@ def main(argv=None) -> int:
             print(f"{os.path.relpath(path, start=args.root)}:")
         checked += 1
         all_failures.extend(run_file(path, verbose=not args.quiet))
+    if not args.paths:
+        for rel in EXAMPLE_SCRIPTS:
+            if not args.quiet:
+                print(f"{rel}:")
+            checked += 1
+            all_failures.extend(
+                run_example(args.root, rel, verbose=not args.quiet)
+            )
     if all_failures:
         print(f"\n{len(all_failures)} doc block(s) failed:")
         for label, trace in all_failures:
